@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate the contribution of individual
+CHEx86 mechanisms: context-sensitive (surgical) check injection, the
+predictor blacklist, the alias victim cache, and the TLB alias-hosting bit.
+"""
+
+from conftest import BUDGET, SCALE, once
+
+from repro.core import Chex86Machine, Variant
+from repro.isa import assemble
+from repro.workloads import build
+
+
+def _run_machine(name, **kwargs):
+    workload = build(name, SCALE)
+    machine = Chex86Machine(assemble(workload.source, name=name),
+                            variant=Variant.UCODE_PREDICTION,
+                            halt_on_violation=False, **kwargs)
+    result = machine.run(max_instructions=BUDGET)
+    return machine, result
+
+
+def test_ablation_context_sensitivity(benchmark):
+    """Surgical (critical-region-only) checks cut capCheck volume while
+    allocations remain fully tracked."""
+
+    def run():
+        full_machine, full = _run_machine("xalancbmk")
+        surgical_machine, surgical = _run_machine(
+            "xalancbmk", critical_ranges=[(0, 1)])
+        return full_machine, full, surgical_machine, surgical
+
+    full_machine, full, surgical_machine, surgical = once(benchmark, run)
+    assert surgical_machine.mcu.stats.capchecks == 0
+    assert surgical_machine.mcu.stats.capchecks_suppressed_context > 0
+    assert full_machine.mcu.stats.capchecks > 0
+    # Allocations are still tracked outside critical regions.
+    assert (surgical_machine.captable.stats.generated
+            == full_machine.captable.stats.generated)
+    # Fewer injected uops -> no more cycles than the fully checked run.
+    assert surgical.uops < full.uops
+    print(f"\ncontext-sensitive: {full.uops - surgical.uops} uops saved "
+          f"({full_machine.mcu.stats.capchecks} checks suppressed), "
+          f"cycles {full.cycles} -> {surgical.cycles}")
+
+
+def test_ablation_predictor_blacklist(benchmark):
+    """The blacklist keeps data loads out of the reload predictor."""
+
+    def run():
+        machine, _ = _run_machine("perlbench")
+        return machine
+
+    machine = once(benchmark, run)
+    stats = machine.reload_predictor.stats
+    # Compute-phase stack reloads are data loads: the blacklist filters
+    # them instead of letting them thrash the stride table.
+    assert stats.blacklist_filtered > 0
+    assert stats.accuracy > 0.85
+    print(f"\nblacklist filtered {stats.blacklist_filtered} of "
+          f"{stats.lookups} lookups; accuracy {stats.accuracy:.1%}")
+
+
+def test_ablation_victim_cache(benchmark):
+    """The 32-entry victim cache absorbs alias-cache conflict misses."""
+    from repro.pipeline.config import DEFAULT_CONFIG
+
+    def run():
+        with_victim_machine, _ = _run_machine("mcf")
+        without_machine, _ = _run_machine(
+            "mcf", config=DEFAULT_CONFIG.with_(alias_victim_entries=0))
+        return with_victim_machine, without_machine
+
+    with_victim, without = once(benchmark, run)
+    rate_with = with_victim.alias_cache.stats.miss_rate
+    rate_without = without.alias_cache.stats.miss_rate
+    assert rate_with <= rate_without + 0.01
+    print(f"\nalias miss rate with victim: {rate_with:.2%}, "
+          f"without: {rate_without:.2%}")
+
+
+def test_ablation_tlb_alias_hosting_bit(benchmark):
+    """The alias-hosting bit filters shadow alias-table walks for pages
+    that never hosted a spilled pointer."""
+
+    def run():
+        machine, _ = _run_machine("perlbench")
+        return machine
+
+    machine = once(benchmark, run)
+    assert machine.tlb.stats.alias_walks_filtered > 0
+    print(f"\nTLB alias-hosting bit filtered "
+          f"{machine.tlb.stats.alias_walks_filtered} walks "
+          f"({machine.tlb.hosting_pages} hosting pages)")

@@ -1,0 +1,17 @@
+"""Regenerates Figure 1: root cause of CVEs by patch year."""
+
+from conftest import once
+
+from repro.eval import fig1
+
+
+def test_fig1_cve_root_causes(benchmark):
+    result = once(benchmark, fig1.run)
+    print("\n" + result.format_text())
+    # The figure's headline: memory safety ~70% of CVEs, every year.
+    assert 65 <= result.average_memory_safety <= 78
+    for year in result.years:
+        assert year.memory_safety_share >= 60
+    assert result.years[0].year == 2006 and result.years[-1].year == 2018
+    benchmark.extra_info["avg_memory_safety_pct"] = round(
+        result.average_memory_safety, 1)

@@ -1,0 +1,29 @@
+"""Regenerates Figure 3: benchmark memory allocation behaviour."""
+
+from conftest import BUDGET, SCALE, once
+
+from repro.eval import fig3
+
+
+def test_fig3_allocation_behaviour(benchmark):
+    result = once(benchmark, lambda: fig3.run(scale=SCALE,
+                                              max_instructions=BUDGET))
+    print("\n" + result.format_text())
+    profiles = {p.benchmark: p for p in result.profiles}
+
+    # The figure's structural claim: total >= max-live >= in-use.
+    assert result.gaps_hold()
+    for profile in result.profiles:
+        assert profile.total_allocations >= profile.max_live
+        assert profile.max_live >= profile.avg_in_use_per_interval - 1e-9
+
+    # Relative ordering from the paper's chart: xalancbmk among the
+    # heaviest allocators, lbm among the lightest.
+    assert profiles["xalancbmk"].total_allocations == max(
+        p.total_allocations for p in result.profiles if p.benchmark in
+        ("perlbench", "gcc", "mcf", "xalancbmk", "deepsjeng", "leela",
+         "lbm", "nab"))
+    assert profiles["lbm"].total_allocations <= 4
+    # The capability-cache motivation: average in-use fits a small cache.
+    assert result.average_in_use() < 512
+    benchmark.extra_info["avg_in_use"] = round(result.average_in_use(), 1)

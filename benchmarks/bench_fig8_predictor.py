@@ -1,0 +1,30 @@
+"""Regenerates Figure 8: alias misprediction rate and squash time."""
+
+from conftest import BUDGET, SCALE, once
+
+from repro.eval import fig8
+
+
+def test_fig8_predictor_and_squash(benchmark):
+    result = once(benchmark, lambda: fig8.run(scale=SCALE,
+                                              max_instructions=BUDGET))
+    print("\n" + result.format_text())
+
+    # Paper: pointer reload events are predicted with ~89% accuracy using
+    # a simple stride scheme.
+    assert result.average_accuracy(1024) > 0.80
+    # A larger predictor should not be (meaningfully) worse.
+    assert result.average_accuracy(2048) >= result.average_accuracy(1024) - 0.02
+
+    # Paper: the squash-time contribution of alias mispredictions is
+    # negligible — only a slight increase over the baseline.
+    assert result.average_squash_increase() < 0.05
+    for bench in result.squash_chex86:
+        assert result.squash_chex86[bench] < 0.35
+
+    benchmark.extra_info.update({
+        "predictor_accuracy_pct": round(
+            100 * result.average_accuracy(1024), 1),
+        "squash_increase_pct": round(
+            100 * result.average_squash_increase(), 2),
+    })

@@ -1,0 +1,42 @@
+"""Regenerates the Section VII-A security evaluation: RIPE (850 attack
+forms), the ASan test-suite analogue, and How2Heap (18 scenarios)."""
+
+from conftest import once
+
+from repro.core.violations import ViolationKind
+from repro.eval import security
+
+
+def test_security_all_suites(benchmark):
+    result = once(benchmark, lambda: security.run(ripe_limit=None))
+    print("\n" + result.format_text())
+
+    # Paper headline: every exploit in every suite is thwarted.
+    assert result.all_flagged()
+    assert result.no_hijack_under_chex86()
+
+    # Suite sizes match the paper: 850 RIPE forms, 18 How2Heap exploits.
+    assert result.chex86["RIPE"].total == 850
+    assert result.chex86["How2Heap"].total == 18
+
+    # On the insecure baseline the attacks actually work (controls).
+    assert result.insecure["RIPE"].hijacked >= 800   # off-by-ones excluded
+    assert result.insecure["How2Heap"].hijacked == 18
+
+    # The paper's per-anchor counts: RIPE is all out-of-bounds; How2Heap
+    # spans UAF / double free / invalid free / OOB; the ASan suite
+    # includes the two heap-spray (resource exhaustion) cases.
+    ripe_kinds = result.chex86["RIPE"].kinds_histogram()
+    assert set(ripe_kinds) == {ViolationKind.OUT_OF_BOUNDS}
+    h2h_kinds = result.chex86["How2Heap"].kinds_histogram()
+    assert ViolationKind.USE_AFTER_FREE in h2h_kinds
+    assert ViolationKind.DOUBLE_FREE in h2h_kinds
+    assert ViolationKind.INVALID_FREE in h2h_kinds
+    asan_kinds = result.chex86["ASan suite"].kinds_histogram()
+    assert asan_kinds.get(ViolationKind.HEAP_SPRAY, 0) == 2
+
+    benchmark.extra_info.update({
+        "ripe_detected": result.chex86["RIPE"].detected,
+        "how2heap_detected": result.chex86["How2Heap"].detected,
+        "asan_suite_detected": result.chex86["ASan suite"].detected,
+    })

@@ -1,0 +1,28 @@
+"""Regenerates Table I: the pointer-tracking rule database, including the
+automated construction process of Section V-A."""
+
+from conftest import SCALE, once
+
+from repro.core.rules import RuleDatabase
+from repro.eval import table1
+
+
+def test_table1_rule_database(benchmark):
+    result = once(benchmark, lambda: table1.run(scale=SCALE,
+                                                max_instructions=100_000))
+    print("\n" + result.format_text())
+
+    # The construction process converges (up to coincidental collisions).
+    assert result.converged
+    # The alias-tracking pair must be learned from profiling.
+    assert "ld" in result.rules_learned
+    assert "st" in result.rules_learned
+
+    # The full database has the Table I shape: 12 rules + default row.
+    full = RuleDatabase.table1()
+    assert len(full) == 12
+    rows = full.to_rows()
+    assert rows[-1]["uop"] == "all other operations"
+    assert sum(1 for r in rows if not r["learned"]) == 4  # 3 seed + default
+
+    benchmark.extra_info["rules_learned"] = ",".join(result.rules_learned)

@@ -1,0 +1,30 @@
+"""Regenerates Table II: temporal pointer access patterns."""
+
+from conftest import SCALE, once
+
+from repro.analysis.patterns import TABLE2_EXAMPLES, Pattern, classify
+from repro.eval import table2
+
+
+def test_table2_temporal_patterns(benchmark):
+    result = once(benchmark, lambda: table2.run(scale=SCALE,
+                                                max_instructions=400_000))
+    print("\n" + result.format_text())
+
+    # The classifier reproduces every example row of Table II itself.
+    for pattern, example in TABLE2_EXAMPLES.items():
+        assert classify(example) is pattern
+
+    # The paper's hypothesis: most code regions show predictable patterns.
+    assert result.predictable_fraction() > 0.60
+
+    # "perlbench exhibiting the highest number of Batch + Stride patterns"
+    assert result.benchmark_with_most(Pattern.BATCH_STRIDE) == "perlbench"
+
+    # lbm/deepsjeng-style benchmarks are Constant-dominated.
+    sjeng = result.profiles["deepsjeng"].histogram
+    assert sjeng.get(Pattern.CONSTANT, 0) >= max(
+        count for pattern, count in sjeng.items()) - 1 if sjeng else True
+
+    benchmark.extra_info["predictable_fraction"] = round(
+        result.predictable_fraction(), 3)

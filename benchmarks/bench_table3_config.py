@@ -1,0 +1,35 @@
+"""Regenerates Table III: hardware configuration of the simulated system."""
+
+from conftest import once
+
+from repro.eval import table3
+from repro.pipeline.config import DEFAULT_CONFIG
+
+
+def test_table3_hardware_configuration(benchmark):
+    result = once(benchmark, table3.run)
+    print("\n" + result.format_text())
+
+    rows = result.rows
+    # Every Table III value, verbatim.
+    assert rows["Frequency"] == "3.4 GHz"
+    assert rows["Fetch width"] == "4 fused uops"
+    assert rows["Issue width"] == "6 unfused uops"
+    assert rows["INT/FP Regfile"] == "180/168 regs"
+    assert rows["RAS size"] == "64 entries"
+    assert rows["LQ/SQ size"] == "72/56 entries"
+    assert rows["Branch Predictor"] == "LTAGE"
+    assert rows["I cache"] == "32 KB, 8 way"
+    assert rows["D cache"] == "32 KB, 8 way"
+    assert rows["ROB size"] == "224 entries"
+    assert rows["IQ"] == "64 entries"
+    assert rows["BTB size"] == "4096 entries"
+    assert rows["Functional Units"] == (
+        "Int ALU (6) / Mult (1), FPALU (3) / SIMD (3)")
+
+    # The CHEx86 structure defaults from Sections IV-B / V-C.
+    assert DEFAULT_CONFIG.capcache_entries == 64
+    assert DEFAULT_CONFIG.aliascache_entries == 256
+    assert DEFAULT_CONFIG.alias_victim_entries == 32
+    assert DEFAULT_CONFIG.predictor_entries == 512
+    assert DEFAULT_CONFIG.max_alloc_bytes == 1 << 30

@@ -1,0 +1,32 @@
+"""Regenerates Table IV: comparison with prior memory-safety techniques,
+with the CHEx86 row measured live on this reproduction."""
+
+from conftest import BUDGET, SCALE, once
+
+from repro.eval import table4
+
+
+def test_table4_comparison(benchmark):
+    result = once(benchmark, lambda: table4.run(scale=SCALE,
+                                                max_instructions=BUDGET))
+    print("\n" + result.format_text())
+
+    # The qualitative claims the paper cites the table for.
+    claims = result.claims()
+    assert all(claims.values()), claims
+
+    # The measured CHEx86 row: average slowdown in the paper's regime
+    # (14% published; we accept anything clearly below software schemes).
+    assert 0 <= result.measured_average_pct < 30
+    assert result.measured_worst_pct < 60
+
+    # Rows present: 8 prior techniques + paper CHEx86 + measured CHEx86.
+    assert len(result.rows) == 10
+    chex_rows = [r for r in result.rows if r.proposal.startswith("CHEx86")]
+    assert all(r.temporal_safety and r.spatial_safety
+               and r.binary_compat == "yes" for r in chex_rows)
+
+    benchmark.extra_info.update({
+        "measured_avg_pct": round(result.measured_average_pct, 1),
+        "measured_worst_pct": round(result.measured_worst_pct, 1),
+    })

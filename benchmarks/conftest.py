@@ -1,0 +1,20 @@
+"""Shared configuration for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the paper-shaped rows/series (run ``pytest benchmarks/ --benchmark-only -s``
+to see them), asserts the paper's qualitative claims on the result, and
+records the headline numbers in ``benchmark.extra_info``.
+"""
+
+import pytest
+
+#: Workload scale used across the harness (1 = quick, CI-sized runs).
+SCALE = 1
+
+#: Instruction budget per benchmark run.
+BUDGET = 2_000_000
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space sweep: the paper's Figure 6 on a workload of your choice.
+
+Runs one benchmark under every design point — insecure baseline, the four
+CHEx86 variants, and AddressSanitizer — and prints normalized performance,
+uop expansion, and the shadow-structure statistics behind them.
+
+Run:  python examples/design_space_sweep.py [benchmark] [scale]
+      (default: mcf at scale 1; see repro.workloads.BENCHMARK_ORDER)
+"""
+
+import sys
+
+from repro.analysis.report import render_bars, render_table
+from repro.eval.common import FIG6_LABELS, run_benchmark
+from repro.workloads import BENCHMARK_ORDER, build
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    if name not in BENCHMARK_ORDER:
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"choose from {', '.join(BENCHMARK_ORDER)}")
+    workload = build(name, scale)
+    print(f"benchmark: {name} ({workload.suite}, "
+          f"{workload.threads} thread(s))\n{workload.description}\n")
+
+    runs = {}
+    for label, defense in FIG6_LABELS:
+        runs[label] = run_benchmark(workload, defense)
+        print(f"  ran {label:20s} "
+              f"{runs[label].cycles:>10,} cycles, "
+              f"{runs[label].uops:>9,} uops")
+
+    baseline = runs["insecure"]
+    print()
+    print(render_bars(
+        {label: run.normalized_performance(baseline)
+         for label, run in runs.items()},
+        title="normalized performance (1.0 = insecure baseline)",
+        max_value=1.0))
+    print()
+    print(render_bars(
+        {label: run.uop_expansion_vs(baseline)
+         for label, run in runs.items() if label != "insecure"},
+        title="dynamic uop expansion (x baseline)"))
+    print()
+    rows = []
+    for label, run in runs.items():
+        if label in ("insecure", "asan"):
+            continue
+        rows.append([
+            label,
+            f"{run.capcache_miss_rate:.1%}",
+            f"{run.aliascache_miss_rate:.1%}",
+            f"{run.predictor_misprediction_rate:.1%}",
+            f"{run.squash_fraction:.1%}",
+            f"{run.shadow_rss_bytes / 1024:.0f} KB",
+        ])
+    print(render_table(
+        ["variant", "cap$ miss", "alias$ miss", "reload mispredict",
+         "squash time", "shadow storage"],
+        rows, title="CHEx86 shadow-structure statistics"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Temporal pointer access patterns and the reload predictor (Table II).
+
+Traces the PID sequences that individual load instructions reload across
+the SPEC workload analogues, classifies each site with the Table II
+taxonomy, and shows how predictor accuracy tracks pattern predictability —
+the paper's core hypothesis: "temporal pointer access patterns of many
+applications are highly predictable."
+
+Run:  python examples/pointer_patterns.py
+"""
+
+from repro.analysis.patterns import Pattern, classify, profile_patterns
+from repro.analysis.report import render_table
+from repro.core import Chex86Machine, Variant
+from repro.isa import assemble
+from repro.workloads import SPEC_NAMES, build
+
+
+def main() -> None:
+    print("=== the Table II taxonomy on its own example sequences ===")
+    examples = {
+        "31 31 31 31 31 31 31": (31, 31, 31, 31, 31, 31, 31),
+        "13 16 19 22 25 28 31": (13, 16, 19, 22, 25, 28, 31),
+        "11 11 11 15 15 15 15": (11, 11, 11, 15, 15, 15, 15),
+        "26 27 28 26 27 28 26": (26, 27, 28, 26, 27, 28, 26),
+        "26 23 29 27 24 30 28": (26, 23, 29, 27, 24, 30, 28),
+        "26 23 29 31 29 34 40": (26, 23, 29, 31, 29, 34, 40),
+    }
+    for text, seq in examples.items():
+        print(f"  {text}  ->  {classify(seq).value}")
+
+    print("\n=== reload sites across the SPEC analogues ===")
+    rows = []
+    for name in SPEC_NAMES:
+        workload = build(name, 1)
+        machine = Chex86Machine(assemble(workload.source, name=name),
+                                variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.trace_reloads = True
+        machine.run(max_instructions=400_000)
+        profile = profile_patterns(machine.reload_trace, min_events=6)
+        stats = machine.reload_predictor.stats
+        dominant = profile.dominant.value if profile.dominant else "-"
+        rows.append([
+            name,
+            len(profile.per_pc),
+            dominant,
+            f"{stats.accuracy:.1%}",
+            f"{stats.blacklist_filtered}",
+            f"{stats.p0an}/{stats.pna0}/{stats.pman}",
+        ])
+    print(render_table(
+        ["benchmark", "reload sites", "dominant pattern",
+         "predictor accuracy", "blacklist filtered", "P0AN/PNA0/PMAN"],
+        rows))
+    print("\n(the stride predictor exploits exactly these patterns; the "
+          "P0AN column is the only misprediction class that costs a "
+          "pipeline flush)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Rule auto-construction: rebuilding Table I from a three-rule seed.
+
+Reproduces Section V-A's process.  Start with the expert seed (pointer
+copies and ADD arithmetic only), profile workloads with the hardware
+checker co-processor validating every tracked result against an exhaustive
+shadow-table search, and watch the database grow one rule per round until
+a profiling pass comes back clean.
+
+Also demonstrates *why* the rules matter: with the LD/ST pair removed, a
+use-after-free reached through a spilled pointer sails past undetected.
+
+Run:  python examples/rule_learning.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core import Chex86Machine, RuleDatabase, Variant
+from repro.eval import table1
+from repro.heap import heap_library_asm
+from repro.isa import assemble
+
+SPILLED_UAF = """
+.global cell, 16
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, [cell.addr]
+    mov [rbx], rax          ; spill the pointer (needs the ST rule)
+    mov rdi, rax
+    call free
+    mov rax, 0
+    mov rbx, [cell.addr]
+    mov rcx, [rbx]          ; reload it (needs the LD rule)
+    mov rdx, [rcx]          ; use-after-free through the alias
+    halt
+""" + heap_library_asm()
+
+
+def detection_with(db: RuleDatabase) -> bool:
+    program = assemble(SPILLED_UAF, name="spilled-uaf")
+    machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                            rules=db, halt_on_violation=False)
+    return machine.run().flagged
+
+
+def main() -> None:
+    print("=== why the rule database matters ===")
+    print(f"UAF through a spilled alias, full Table I: "
+          f"{'DETECTED' if detection_with(RuleDatabase.table1()) else 'missed'}")
+    crippled = RuleDatabase.table1()
+    crippled.remove("ld")
+    crippled.remove("st")
+    print(f"same exploit, LD/ST rules removed:        "
+          f"{'detected' if detection_with(crippled) else 'MISSED'}")
+
+    print("\n=== automated construction from the seed ===")
+    result = table1.run(scale=1, max_instructions=100_000)
+    for step in result.history:
+        action = (f"added rule '{step.rule_added}'" if step.rule_added
+                  else "clean — done")
+        print(f"  round {step.round}: {step.mismatches:5d} checker "
+              f"mismatches -> {action}")
+    print(f"converged: {result.converged} "
+          f"(residual {result.residual_mismatches} coincidental "
+          f"collisions out of {result.validations} validations)\n")
+
+    rows = [[r["uop"], r["addr_mode"], r["propagation"],
+             "learned" if r["learned"] else "seed"]
+            for r in result.database.to_rows()]
+    print(render_table(["uop", "addr mode", "propagation", "origin"], rows,
+                       title="the constructed database (paper Table I)"))
+
+
+if __name__ == "__main__":
+    main()

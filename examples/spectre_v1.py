@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Spectre-v1 and why CHEx86's checks cannot be bypassed (Section III).
+
+Spectre-v1 trains a branch predictor so that a *software* bounds check is
+speculatively bypassed and an out-of-bounds load executes transiently.
+CHEx86's capability check is different in kind: it is injected at the
+CISC→RISC decode boundary as part of the *same macro-op* as the
+dereference, so wherever the dereference goes — architecturally or down a
+mispredicted path — its capCheck goes with it.
+
+This example shows the two halves of that argument on the simulator:
+
+1. the gadget's load receives an injected capCheck at decode, whose
+   presence does not depend on the branch's direction or prediction;
+2. with the software bounds check out of the picture entirely (the
+   architectural equivalent of a perfect speculative bypass), the
+   out-of-bounds access is still caught — by the capability, not the cmp.
+
+Run:  python examples/spectre_v1.py
+"""
+
+from repro.core import Chex86Machine, Variant
+from repro.heap import heap_library_asm
+from repro.isa import Reg, assemble
+
+GADGET = """
+.global secret, 32, 0x53454352
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, rax            ; array1 = malloc(64); 8 elements
+    mov rcx, {index}        ; attacker-influenced index x
+    cmp rcx, 8
+    jae out                 ; the software bounds check (Spectre target)
+    mov rdx, [rbx + rcx*8]  ; array1[x]  <- the gadget load
+out:
+    halt
+""" + heap_library_asm()
+
+BYPASSED = """
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rcx, {index}
+    mov rdx, [rbx + rcx*8]  ; bounds check bypassed (speculation's effect)
+    halt
+""" + heap_library_asm()
+
+
+def run(source: str, index: int):
+    program = assemble(source.format(index=index), name="spectre")
+    machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                            halt_on_violation=True)
+    result = machine.run()
+    return machine, result
+
+
+def main() -> None:
+    print("=== 1. the check travels with the dereference ===")
+    for index in (3, 7):
+        machine, result = run(GADGET, index)
+        print(f"  index {index}: capChecks injected = "
+              f"{machine.mcu.stats.capchecks}, flagged = {result.flagged}")
+    print("  (the gadget load is guarded at decode — before any branch\n"
+          "   outcome exists to be mispredicted)")
+
+    print("\n=== 2. bypassing the software check changes nothing ===")
+    machine, result = run(BYPASSED, index=40)
+    violation = result.violations.violations[0]
+    print(f"  out-of-bounds index 40 with NO software check: {violation}")
+    print("  The capability check fired where the cmp/jae never existed —")
+    print("  a transient bypass of the software check has nothing to "
+          "bypass in CHEx86.")
+
+    print("\n=== caveat (the paper's own) ===")
+    print("  This covers Spectre-v1's bounds-check-bypass pattern; CHEx86")
+    print("  makes no broader side-channel claims, and the guarantee")
+    print("  depends on the implementation's TOC/TOU behaviour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables ``pip install -e .`` on offline toolchains
+that lack the ``wheel`` package needed for PEP 660 editable builds."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""CHEx86 reproduction: microcode-enabled capabilities for memory safety.
+
+Python reproduction of *"CHEx86: Context-Sensitive Enforcement of Memory
+Safety via Microcode-Enabled Capabilities"* (Sharifi & Venkat, ISCA 2020).
+
+The public API is re-exported here; start with :class:`Chex86Machine` and
+:func:`repro.isa.assemble`::
+
+    from repro import Chex86Machine, Variant, assemble
+    from repro.heap import heap_library_asm
+
+    program = assemble(SOURCE + heap_library_asm())
+    machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION)
+    result = machine.run()
+"""
+
+from .core import (
+    Chex86Machine,
+    RuleDatabase,
+    RunResult,
+    Variant,
+    Violation,
+    ViolationKind,
+)
+from .isa import assemble
+from .workloads import build as build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chex86Machine",
+    "RuleDatabase",
+    "RunResult",
+    "Variant",
+    "Violation",
+    "ViolationKind",
+    "__version__",
+    "assemble",
+    "build_workload",
+]

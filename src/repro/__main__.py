@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``run FILE``
+    Assemble and run an assembly program under a chosen variant::
+
+        python -m repro run prog.s --variant ucode-prediction --trap
+
+``workload NAME``
+    Run one of the 14 built-in benchmark analogues and print its
+    statistics summary::
+
+        python -m repro workload mcf --variant hw-only --scale 2
+
+``figure {1,3,6,7,8,9}`` / ``table {1,2,3,4}``
+    Regenerate one of the paper's figures/tables and print it.
+
+``security``
+    Run the three exploit suites (RIPE / ASan suite / How2Heap).
+
+``list``
+    List benchmarks, variants, and exploit suites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import Chex86Machine, Variant
+from .eval import fig1, fig3, fig6, fig7, fig8, fig9, security
+from .eval import table1, table2, table3, table4
+from .heap import heap_library_asm
+from .isa import assemble
+from .workloads import BENCHMARK_ORDER, build
+
+_VARIANTS = {v.value: v for v in Variant}
+
+_FIGURES = {"1": fig1, "3": fig3, "6": fig6, "7": fig7, "8": fig8, "9": fig9}
+_TABLES = {"1": table1, "2": table2, "3": table3, "4": table4}
+
+
+def _add_variant_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--variant", default="ucode-prediction",
+                        choices=sorted(_VARIANTS),
+                        help="CHEx86 design point (default: the paper's "
+                             "prediction-driven microcode variant)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CHEx86 (ISCA 2020) reproduction: microcode-enabled "
+                    "capabilities for x86 memory safety.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="assemble and run a program file")
+    run_p.add_argument("file", help="assembly source (mini-x86 dialect)")
+    _add_variant_arg(run_p)
+    run_p.add_argument("--trap", action="store_true",
+                       help="halt at the first violation")
+    run_p.add_argument("--max-instructions", type=int, default=2_000_000)
+    run_p.add_argument("--no-heap-library", action="store_true",
+                       help="do not append the standard heap library")
+    run_p.add_argument("--translate", action="store_true",
+                       help="statically instrument with capchk instructions "
+                            "and run under the bt-isa-extension variant")
+
+    wl_p = sub.add_parser("workload", help="run a built-in benchmark")
+    wl_p.add_argument("name", choices=BENCHMARK_ORDER)
+    _add_variant_arg(wl_p)
+    wl_p.add_argument("--scale", type=int, default=1)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", choices=sorted(_FIGURES))
+    fig_p.add_argument("--scale", type=int, default=1)
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("number", choices=sorted(_TABLES))
+    tab_p.add_argument("--scale", type=int, default=1)
+
+    sec_p = sub.add_parser("security", help="run the exploit suites")
+    sec_p.add_argument("--ripe-limit", type=int, default=None,
+                       help="subsample RIPE to this many cases")
+
+    dbg_p = sub.add_parser("debug", help="interactive machine debugger")
+    dbg_p.add_argument("file", help="assembly source (mini-x86 dialect)")
+    _add_variant_arg(dbg_p)
+    dbg_p.add_argument("--no-heap-library", action="store_true")
+
+    rep_p = sub.add_parser(
+        "reproduce", help="regenerate every artifact into a directory")
+    rep_p.add_argument("--out", default="results")
+    rep_p.add_argument("--scale", type=int, default=1)
+    rep_p.add_argument("--ripe-limit", type=int, default=None)
+
+    sub.add_parser("list", help="list benchmarks, variants, suites")
+    return parser
+
+
+def cmd_run(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    if not args.no_heap_library and "malloc:" not in source:
+        source += "\n" + heap_library_asm()
+    program = assemble(source, name=args.file)
+    variant = _VARIANTS[args.variant]
+    if args.translate:
+        from .translator import translate
+
+        program, report = translate(program)
+        variant = Variant.BT_ISA_EXTENSION
+        print(f"binary translation: {report.instrumented} accesses "
+              f"instrumented (+{report.code_growth} instructions)")
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=args.trap)
+    result = machine.run(max_instructions=args.max_instructions)
+    print(machine.stats_summary())
+    for violation in result.violations.violations:
+        print(f"VIOLATION: {violation}")
+    if result.flagged:
+        from .analysis.diagnostics import explain_violation
+
+        print()
+        print(explain_violation(machine))
+    return 1 if result.flagged else 0
+
+
+def cmd_workload(args) -> int:
+    from .eval.common import run_benchmark
+
+    workload = build(args.name, args.scale)
+    run = run_benchmark(workload, _VARIANTS[args.variant])
+    print(f"{workload.name} ({workload.suite}, {workload.threads} thread(s)) "
+          f"under {args.variant}:")
+    print(f"  instructions      {run.instructions:>12,}")
+    print(f"  uops              {run.uops:>12,} "
+          f"({run.injected_uops:,} injected)")
+    print(f"  cycles            {run.cycles:>12,}")
+    print(f"  capability$ miss  {run.capcache_miss_rate:>11.1%}")
+    print(f"  alias$ miss       {run.aliascache_miss_rate:>11.1%}")
+    print(f"  reload mispredict {run.predictor_misprediction_rate:>11.1%}")
+    print(f"  squash time       {run.squash_fraction:>11.1%}")
+    print(f"  shadow storage    {run.shadow_rss_bytes:>12,} B")
+    print(f"  bandwidth         {run.bandwidth_mb_per_s:>10.1f} MB/s")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    module = _FIGURES[args.number]
+    if args.number == "1":
+        result = module.run()
+    else:
+        result = module.run(scale=args.scale)
+    print(result.format_text())
+    return 0
+
+
+def cmd_table(args) -> int:
+    module = _TABLES[args.number]
+    if args.number == "3":
+        result = module.run()
+    else:
+        result = module.run(scale=args.scale)
+    print(result.format_text())
+    return 0
+
+
+def cmd_security(args) -> int:
+    result = security.run(ripe_limit=args.ripe_limit)
+    print(result.format_text())
+    return 0 if result.all_flagged() else 1
+
+
+def cmd_debug(args) -> int:
+    from .debugger import debug_program
+
+    with open(args.file) as handle:
+        source = handle.read()
+    if not args.no_heap_library and "malloc:" not in source:
+        source += "\n" + heap_library_asm()
+    program = assemble(source, name=args.file)
+    debug_program(program, variant=_VARIANTS[args.variant])
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from .eval.runner import reproduce
+
+    reproduce(out_dir=args.out, scale=args.scale,
+              ripe_limit=args.ripe_limit)
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks:", ", ".join(BENCHMARK_ORDER))
+    print("variants:  ", ", ".join(sorted(_VARIANTS)))
+    print("figures:   ", ", ".join(sorted(_FIGURES)))
+    print("tables:    ", ", ".join(sorted(_TABLES)))
+    print("suites:     RIPE (850), ASan suite (15), How2Heap (18)")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "workload": cmd_workload,
+        "figure": cmd_figure,
+        "table": cmd_table,
+        "security": cmd_security,
+        "debug": cmd_debug,
+        "reproduce": cmd_reproduce,
+        "list": cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

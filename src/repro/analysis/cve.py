@@ -1,0 +1,74 @@
+"""CVE root-cause dataset (paper Figure 1).
+
+Figure 1 re-creates the Microsoft/Google studies on the root causes of
+CVEs patched per year since 2006, showing memory safety violations
+consistently around 70% of the total.  The numbers below reproduce the
+figure's stacked categories (percent of CVEs per patch year); they are a
+digitization of the chart's shape, normalized to 100% per year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Categories in the figure's legend, in stacking order.
+CATEGORIES = (
+    "Stack Corruption",
+    "Heap Corruption",
+    "Use After Free",
+    "Heap OOB Read",
+    "Uninitialized Use",
+    "Type Confusion",
+    "Other",
+)
+
+#: Memory-safety categories (the ~70% headline).
+MEMORY_SAFETY_CATEGORIES = (
+    "Stack Corruption",
+    "Heap Corruption",
+    "Use After Free",
+    "Heap OOB Read",
+    "Uninitialized Use",
+)
+
+#: Percent of CVEs per patch year, per category (rows sum to 100).
+CVE_ROOT_CAUSES: Dict[int, Tuple[float, ...]] = {
+    2006: (28.0, 26.0, 5.0, 6.0, 3.0, 2.0, 30.0),
+    2007: (26.0, 28.0, 7.0, 6.0, 3.0, 2.0, 28.0),
+    2008: (23.0, 29.0, 9.0, 7.0, 3.0, 2.0, 27.0),
+    2009: (20.0, 30.0, 12.0, 7.0, 4.0, 3.0, 24.0),
+    2010: (17.0, 30.0, 16.0, 8.0, 4.0, 3.0, 22.0),
+    2011: (14.0, 29.0, 20.0, 8.0, 5.0, 3.0, 21.0),
+    2012: (12.0, 28.0, 24.0, 9.0, 5.0, 4.0, 18.0),
+    2013: (10.0, 27.0, 26.0, 9.0, 5.0, 4.0, 19.0),
+    2014: (9.0, 26.0, 26.0, 10.0, 6.0, 5.0, 18.0),
+    2015: (8.0, 25.0, 25.0, 11.0, 7.0, 6.0, 18.0),
+    2016: (7.0, 24.0, 24.0, 12.0, 8.0, 7.0, 18.0),
+    2017: (6.0, 25.0, 22.0, 13.0, 9.0, 7.0, 18.0),
+    2018: (5.0, 26.0, 20.0, 14.0, 9.0, 8.0, 18.0),
+}
+
+
+@dataclass(frozen=True)
+class YearBreakdown:
+    year: int
+    shares: Dict[str, float]
+
+    @property
+    def memory_safety_share(self) -> float:
+        return sum(self.shares[c] for c in MEMORY_SAFETY_CATEGORIES)
+
+
+def breakdown(year: int) -> YearBreakdown:
+    return YearBreakdown(year, dict(zip(CATEGORIES, CVE_ROOT_CAUSES[year])))
+
+
+def all_years() -> List[YearBreakdown]:
+    return [breakdown(year) for year in sorted(CVE_ROOT_CAUSES)]
+
+
+def average_memory_safety_share() -> float:
+    """The headline statistic: ~70% of CVEs are memory safety issues."""
+    years = all_years()
+    return sum(y.memory_safety_share for y in years) / len(years)

@@ -1,0 +1,149 @@
+"""Violation diagnostics: human-readable reports for flagged violations.
+
+Turns a :class:`~repro.core.violations.Violation` plus the machine that
+raised it into the kind of report a deployed CHEx86 would hand an
+operator: the faulting instruction with a disassembly window around it,
+the capability involved (base/bounds/permission state and how far outside
+the access fell), the allocation history of the address, and — for
+temporal violations — where the block was freed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.capability import WILD_PID
+from ..core.machine import Chex86Machine
+from ..core.violations import Violation, ViolationKind
+from ..isa.disasm import format_instr
+
+#: Instructions of context shown on each side of the faulting pc.
+WINDOW = 3
+
+
+def _disasm_window(machine: Chex86Machine, pc: int) -> List[str]:
+    program = machine.program
+    labels_by_address = {addr: name for name, addr in program.labels.items()}
+    try:
+        index = program.index_of(pc)
+    except ValueError:
+        return [f"  {pc:#x}:  <outside text section>"]
+    lines = []
+    for i in range(max(0, index - WINDOW),
+                   min(len(program), index + WINDOW + 1)):
+        address = program.address_of(i)
+        label = labels_by_address.get(address)
+        if label is not None and program.instrs[i].label == label:
+            lines.append(f"{label}:")
+        marker = "=>" if i == index else "  "
+        instr = program.fetch(address)
+        lines.append(f"{marker} {address:#x}:  "
+                     f"{format_instr(instr, labels_by_address)}")
+    return lines
+
+
+def _capability_report(machine: Chex86Machine,
+                       violation: Violation) -> List[str]:
+    if violation.pid == WILD_PID:
+        return ["capability: PID(-1) — a constant integer address that "
+                "never came from a registered allocation (MOVI rule)"]
+    if violation.pid == 0:
+        return ["capability: none — the pointer was never tracked"]
+    capability = machine.captable.get(violation.pid)
+    if capability is None:
+        return [f"capability: PID {violation.pid} not present in the "
+                f"shadow table"]
+    lines = [
+        f"capability: PID {capability.pid}, "
+        f"[{capability.base:#x}, {capability.end:#x}) "
+        f"({capability.bounds} bytes), "
+        f"{'valid' if capability.valid else 'FREED/invalid'}"
+        f"{', busy' if capability.busy else ''}",
+    ]
+    if violation.kind is ViolationKind.OUT_OF_BOUNDS and violation.address:
+        if violation.address >= capability.end:
+            distance = violation.address - capability.end
+            lines.append(f"access: {violation.address:#x} — "
+                         f"{distance + violation.size} byte(s) past the end")
+        else:
+            distance = capability.base - violation.address
+            lines.append(f"access: {violation.address:#x} — "
+                         f"{distance} byte(s) below the base")
+    return lines
+
+
+def _allocation_history(machine: Chex86Machine,
+                        violation: Violation) -> List[str]:
+    address = violation.address
+    if not address:
+        return []
+    record = machine.allocator.record_for(address)
+    if record is None and violation.pid > 0:
+        # An out-of-bounds address is not inside any allocation; report
+        # the allocation the violated capability governs instead.
+        capability = machine.captable.get(violation.pid)
+        if capability is not None and capability.base:
+            record = machine.allocator.record_for(capability.base)
+    if record is None:
+        return [f"allocator: no allocation ever covered {address:#x}"]
+    state = "freed" if record.freed else "live"
+    return [
+        f"allocator: allocation #{record.serial} "
+        f"[{record.address:#x}, {record.address + record.size:#x}) "
+        f"({record.size} bytes), currently {state}",
+    ]
+
+
+def _hint(violation: Violation) -> str:
+    return {
+        ViolationKind.OUT_OF_BOUNDS:
+            "hint: check the loop bound / index computation feeding this "
+            "dereference",
+        ViolationKind.USE_AFTER_FREE:
+            "hint: a stale copy of this pointer survived the free — the "
+            "capability stays invalid forever, so any reuse distance is "
+            "caught",
+        ViolationKind.DOUBLE_FREE:
+            "hint: this pointer's capability was already freed; look for "
+            "two ownership paths releasing the same allocation",
+        ViolationKind.INVALID_FREE:
+            "hint: the freed pointer is not the base of any live "
+            "allocation (interior pointer, stack/global address, or a "
+            "forged chunk)",
+        ViolationKind.WILD_DEREFERENCE:
+            "hint: a constant integer address was dereferenced; if this "
+            "is an intentional global access, reach it through a constant "
+            "pool so the tracker can follow it",
+        ViolationKind.HEAP_SPRAY:
+            "hint: allocation request exceeds the configured maximum "
+            "block size (heap-spray / resource-exhaustion guard)",
+        ViolationKind.PERMISSION:
+            "hint: the access needs a permission the capability does not "
+            "grant",
+    }.get(violation.kind, "")
+
+
+def explain_violation(machine: Chex86Machine,
+                      violation: Optional[Violation] = None) -> str:
+    """Full diagnostic report for ``violation`` (default: the first one)."""
+    if violation is None:
+        if not machine.violations.violations:
+            return "no violations recorded"
+        violation = machine.violations.violations[0]
+    sections: List[str] = [
+        f"{'=' * 60}",
+        f"CHEx86 {violation.kind.value.upper()} ({violation.kind.cwe}) "
+        f"at pc {violation.instr_address:#x}",
+        f"{'=' * 60}",
+        violation.detail or "",
+        "",
+    ]
+    sections.extend(_disasm_window(machine, violation.instr_address))
+    sections.append("")
+    sections.extend(_capability_report(machine, violation))
+    sections.extend(_allocation_history(machine, violation))
+    hint = _hint(violation)
+    if hint:
+        sections.append("")
+        sections.append(hint)
+    return "\n".join(line for line in sections if line is not None)

@@ -1,0 +1,76 @@
+"""Plain-text table and bar-chart rendering for experiment reports.
+
+Every ``repro.eval`` driver formats its results with these helpers so the
+benchmark harness can print the same rows/series the paper's tables and
+figures report, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(values: Mapping[str, float], width: int = 40,
+                title: str = "", unit: str = "",
+                max_value: Optional[float] = None) -> str:
+    """Horizontal ASCII bar chart (one bar per key)."""
+    if not values:
+        return title
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled
+        lines.append(f"{key.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(groups: Mapping[str, Mapping[str, float]],
+                        width: int = 30, title: str = "",
+                        unit: str = "") -> str:
+    """Grouped bars: one block per outer key, one bar per inner key."""
+    lines = [title] if title else []
+    peak = max((v for g in groups.values() for v in g.values()), default=1.0)
+    peak = peak or 1.0
+    for group, values in groups.items():
+        lines.append(f"{group}:")
+        label_width = max(len(k) for k in values) if values else 0
+        for key, value in values.items():
+            filled = int(round(width * min(value, peak) / peak))
+            lines.append(f"  {key.ljust(label_width)} "
+                         f"|{('#' * filled).ljust(width)}| "
+                         f"{_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value and abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

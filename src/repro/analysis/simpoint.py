@@ -1,0 +1,174 @@
+"""SimPoint-style representative-region selection (paper Methodology).
+
+The paper simulates representative regions chosen with PinPlay + SimPoint
+rather than whole benchmarks.  This module reproduces that workflow on our
+substrate:
+
+1. profile a run into per-interval **basic-block vectors** (instruction
+   execution frequency per static instruction, the BBV of Sherwood et al.),
+2. random-project the sparse vectors to a low dimension,
+3. cluster with k-means (numpy),
+4. pick, per cluster, the interval closest to the centroid as the
+   *simulation point*, weighted by its cluster's population.
+
+A weighted metric over the simulation points then estimates the full-run
+metric — :func:`estimate` — which is exactly how SimPoint numbers are
+consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.machine import Chex86Machine
+from ..core.variants import Variant
+from ..isa.assembler import assemble
+from ..workloads.base import Workload
+
+#: Dimensionality after random projection (SimPoint uses 15).
+PROJECTED_DIMS = 15
+
+
+@dataclass(frozen=True)
+class SimulationPoint:
+    """One representative interval and its weight."""
+
+    interval: int   # index into the interval sequence
+    weight: float   # fraction of intervals its cluster covers
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"weight {self.weight} outside (0, 1]")
+
+
+@dataclass
+class SimPointSelection:
+    """The chosen simulation points for one profiled run."""
+
+    points: List[SimulationPoint]
+    intervals: int
+    interval_length: int
+    cluster_of: List[int]  # cluster id per interval
+
+    @property
+    def coverage(self) -> float:
+        return sum(p.weight for p in self.points)
+
+    def estimate(self, per_interval_metric: Sequence[float]) -> float:
+        """Weighted estimate of a full-run metric from the points alone."""
+        return sum(point.weight * per_interval_metric[point.interval]
+                   for point in self.points)
+
+
+def _to_matrix(vectors: Sequence[Dict[int, int]],
+               seed: int = 7) -> np.ndarray:
+    """Normalize sparse BBVs and random-project them to PROJECTED_DIMS."""
+    dims = max((max(v) for v in vectors if v), default=0) + 1
+    dense = np.zeros((len(vectors), dims))
+    for row, vector in enumerate(vectors):
+        for index, count in vector.items():
+            dense[row, index] = count
+    norms = dense.sum(axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    dense /= norms
+    rng = np.random.default_rng(seed)
+    projection = rng.uniform(-1.0, 1.0, size=(dims, PROJECTED_DIMS))
+    return dense @ projection
+
+
+def _kmeans_pp_init(matrix: np.ndarray, k: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids distance-proportionally."""
+    n = matrix.shape[0]
+    centroids = [matrix[rng.integers(n)]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((matrix - c) ** 2, axis=1) for c in centroids], axis=0)
+        total = distances.sum()
+        if total == 0:
+            centroids.append(matrix[rng.integers(n)])
+            continue
+        centroids.append(matrix[rng.choice(n, p=distances / total)])
+    return np.array(centroids)
+
+
+def _kmeans(matrix: np.ndarray, k: int, seed: int = 7,
+            iterations: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ init; returns (assignments, centroids).
+
+    An emptied cluster is reseeded on the point farthest from its current
+    centroid, so well-separated phases cannot collapse into one cluster.
+    """
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    k = min(k, n)
+    centroids = _kmeans_pp_init(matrix, k, rng)
+    assignments = np.full(n, -1, dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(
+            matrix[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignments = distances.argmin(axis=1)
+        if (new_assignments == assignments).all():
+            break
+        assignments = new_assignments
+        for cluster in range(k):
+            members = matrix[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = matrix[farthest]
+    return assignments, centroids
+
+
+def select(vectors: Sequence[Dict[int, int]], max_k: int = 8,
+           interval_length: int = 0, seed: int = 7) -> SimPointSelection:
+    """Choose simulation points from per-interval BBVs."""
+    if not vectors:
+        raise ValueError("no interval vectors to select from")
+    matrix = _to_matrix(vectors, seed)
+    assignments, centroids = _kmeans(matrix, max_k, seed)
+    points: List[SimulationPoint] = []
+    n = len(vectors)
+    for cluster in sorted(set(assignments.tolist())):
+        member_indices = np.flatnonzero(assignments == cluster)
+        distances = np.linalg.norm(
+            matrix[member_indices] - centroids[cluster], axis=1)
+        representative = int(member_indices[distances.argmin()])
+        points.append(SimulationPoint(
+            interval=representative,
+            weight=len(member_indices) / n,
+        ))
+    return SimPointSelection(
+        points=sorted(points, key=lambda p: p.interval),
+        intervals=n,
+        interval_length=interval_length,
+        cluster_of=assignments.tolist(),
+    )
+
+
+def profile_bbvs(workload: Workload, interval: int = 1_000,
+                 variant: Variant = Variant.UCODE_PREDICTION,
+                 max_instructions: int = 600_000
+                 ) -> Tuple[List[Dict[int, int]], Chex86Machine]:
+    """Run ``workload`` collecting per-interval BBVs (single-threaded)."""
+    program = assemble(workload.source, name=workload.name)
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=False)
+    machine.bbv_interval = interval
+    machine.run(max_instructions=max_instructions)
+    vectors = list(machine.bbv_vectors)
+    if machine._bbv_current:  # trailing partial interval
+        vectors.append(machine._bbv_current)
+    return vectors, machine
+
+
+def select_for(workload: Workload, interval: int = 1_000, max_k: int = 8,
+               max_instructions: int = 600_000) -> SimPointSelection:
+    """Profile + select in one call (the PinPlay→SimPoint pipeline)."""
+    vectors, _ = profile_bbvs(workload, interval,
+                              max_instructions=max_instructions)
+    return select(vectors, max_k=max_k, interval_length=interval)

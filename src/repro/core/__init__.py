@@ -1,0 +1,60 @@
+"""CHEx86 core: capabilities, pointer tracking, microcode customization."""
+
+from .alias import AliasCache, ShadowAliasTable, StoreBufferPids, WALK_LEVELS
+from .capability import (
+    CAPABILITY_BYTES,
+    Capability,
+    Perm,
+    ShadowCapabilityTable,
+    WILD_PID,
+)
+from .checker import HardwareChecker, LearningStep, Mismatch, RuleAutoConstructor
+from .machine import Chex86Machine, MachineError, RunResult
+from .mcu import MicrocodeCustomizationUnit, critical_ranges_for
+from .predictor import MispredictKind, PointerReloadPredictor
+from .rules import MEMORY_POLICY, Propagation, Rule, RuleDatabase
+from .tracker import SpeculativePointerTracker
+from .variants import FIGURE6_ORDER, CheckPolicy, Variant, VariantTraits, traits_of
+from .violations import (
+    CapabilityException,
+    Violation,
+    ViolationKind,
+    ViolationLog,
+)
+
+__all__ = [
+    "AliasCache",
+    "CAPABILITY_BYTES",
+    "Capability",
+    "CapabilityException",
+    "CheckPolicy",
+    "Chex86Machine",
+    "FIGURE6_ORDER",
+    "HardwareChecker",
+    "LearningStep",
+    "MEMORY_POLICY",
+    "MachineError",
+    "MicrocodeCustomizationUnit",
+    "Mismatch",
+    "MispredictKind",
+    "Perm",
+    "PointerReloadPredictor",
+    "Propagation",
+    "Rule",
+    "RuleAutoConstructor",
+    "RuleDatabase",
+    "RunResult",
+    "ShadowAliasTable",
+    "ShadowCapabilityTable",
+    "SpeculativePointerTracker",
+    "StoreBufferPids",
+    "Variant",
+    "VariantTraits",
+    "Violation",
+    "ViolationKind",
+    "ViolationLog",
+    "WALK_LEVELS",
+    "WILD_PID",
+    "critical_ranges_for",
+    "traits_of",
+]

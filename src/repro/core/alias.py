@@ -1,0 +1,246 @@
+"""Spilled-pointer alias tracking: shadow alias table, alias cache, store
+buffer PID extension (paper Section V-C).
+
+When a register holding a pointer is spilled to memory, CHEx86 must
+remember which PID that memory word carries so a later reload can be
+re-tagged.  The authoritative record is a **5-level hierarchical shadow
+alias table** structured like an x86-64 page table and traversed by a
+hardware walker; a small 2-way **alias cache** (plus a fully associative
+victim cache) makes the common lookups cheap, and PIDs of not-yet-committed
+stores ride in the **store buffer** so transient stores never pollute the
+cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..memory.cache import SetAssocCache
+
+#: Levels of the hierarchical table (mirrors 5-level x86-64 paging).
+WALK_LEVELS = 5
+#: Bits consumed per level over the 48-bit word-index space.
+_LEVEL_BITS = (9, 9, 9, 9, 9)
+#: Bytes per table node, for shadow-storage accounting: 512 entries x 8 B.
+NODE_BYTES = 512 * 8
+
+
+@dataclass
+class AliasTableStats:
+    walks: int = 0
+    levels_touched: int = 0
+    entries_set: int = 0
+    entries_cleared: int = 0
+
+
+class ShadowAliasTable:
+    """The 5-level hierarchical alias table.
+
+    Maps a 64-bit (word-aligned) virtual address to the PID of the pointer
+    spilled there.  Unlike page tables whose leaves hold physical page
+    numbers, the lowest-level entries hold PIDs (Section V-C).  The nested
+    dict structure mirrors the radix levels so that the storage accounting
+    (Figure 9: overhead scales with the number of *references*, not with
+    total memory) and the walk-latency accounting are both faithful.
+    """
+
+    def __init__(self) -> None:
+        self._root: Dict = {}
+        self._nodes = 1  # the root node always exists
+        self.stats = AliasTableStats()
+
+    @staticmethod
+    def _indices(address: int) -> Tuple[int, ...]:
+        word = address >> 3
+        out = []
+        shift = sum(_LEVEL_BITS)
+        for bits in _LEVEL_BITS:
+            shift -= bits
+            out.append((word >> shift) & ((1 << bits) - 1))
+        return tuple(out)
+
+    def set(self, address: int, pid: int) -> None:
+        """Record that the word at ``address`` holds a spilled PID."""
+        if pid == 0:
+            self.clear(address)
+            return
+        node = self._root
+        *upper, leaf_index = self._indices(address)
+        for index in upper:
+            nxt = node.get(index)
+            if nxt is None:
+                nxt = {}
+                node[index] = nxt
+                self._nodes += 1
+            node = nxt
+        if leaf_index not in node:
+            self.stats.entries_set += 1
+        node[leaf_index] = pid
+
+    def clear(self, address: int) -> None:
+        """A non-pointer value overwrote the word: drop any alias entry."""
+        node = self._root
+        *upper, leaf_index = self._indices(address)
+        for index in upper:
+            node = node.get(index)
+            if node is None:
+                return
+        if leaf_index in node:
+            del node[leaf_index]
+            self.stats.entries_cleared += 1
+
+    def walk(self, address: int) -> int:
+        """Hardware table walk; returns the PID (0 if absent).
+
+        Touches up to :data:`WALK_LEVELS` levels; the level count feeds the
+        walk-latency model.
+        """
+        self.stats.walks += 1
+        node = self._root
+        *upper, leaf_index = self._indices(address)
+        touched = 1
+        for index in upper:
+            node = node.get(index)
+            if node is None:
+                self.stats.levels_touched += touched
+                return 0
+            touched += 1
+        self.stats.levels_touched += touched
+        return node.get(leaf_index, 0)
+
+    def peek(self, address: int) -> int:
+        """Walk without stats (checker / debugging)."""
+        node = self._root
+        *upper, leaf_index = self._indices(address)
+        for index in upper:
+            node = node.get(index)
+            if node is None:
+                return 0
+        return node.get(leaf_index, 0)
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Shadow storage consumed by the table nodes (Figure 9)."""
+        return self._nodes * NODE_BYTES
+
+    @property
+    def live_entries(self) -> int:
+        return self.stats.entries_set - self.stats.entries_cleared
+
+
+class AliasCache:
+    """The in-processor alias cache: 256-entry 2-way + 32-entry victim.
+
+    Keyed by word address, holding PIDs.  Misses fall back to the hardware
+    walker over the shadow alias table.  Coherence: a remote store to a
+    spilled alias invalidates the line in every other core's alias cache
+    (modelled by :class:`repro.pipeline.system.System`).
+    """
+
+    def __init__(self, entries: int = 256, ways: int = 2,
+                 victim_entries: int = 32) -> None:
+        self.cache = SetAssocCache(entries, ways, line_shift=3,
+                                   victim_entries=victim_entries,
+                                   name="alias-cache")
+
+    def lookup(self, address: int, table: ShadowAliasTable) -> Tuple[int, bool]:
+        """PID at ``address``; returns (pid, cache-hit?).
+
+        Only real aliases are installed on a miss: caching negative results
+        would let plain data loads sharing a page with spilled pointers
+        evict the aliases the cache exists for.
+        """
+        cached = self.cache.lookup(address)
+        if cached is not None:
+            self.cache.access(address, cached)  # count the hit, refresh LRU
+            return cached, True
+        pid = table.walk(address)
+        if pid:
+            self.cache.access(address, pid)  # miss + install
+        else:
+            self.cache.stats.misses += 1     # miss, nothing to cache
+        return pid, False
+
+    def install(self, address: int, pid: int) -> None:
+        """Committed store path: update/insert without a table walk."""
+        if self.cache.lookup(address) is not None:
+            self.cache.update(address, pid)
+        else:
+            self.cache.access(address, pid)
+
+    def invalidate(self, address: int) -> bool:
+        return self.cache.invalidate(address)
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+
+@dataclass
+class _PendingStore:
+    seq: int
+    address: int
+    pid: int
+
+
+class StoreBufferPids:
+    """PID extension of the store buffer (Section V-C).
+
+    Transient stores that may spill pointers hold their PIDs here until
+    commit; only committed stores update the alias cache and table.  A
+    squash drops the younger entries without any alias-state side effects.
+    """
+
+    def __init__(self, capacity: int = 56) -> None:
+        self.capacity = capacity
+        self._pending: Deque[_PendingStore] = deque()
+        self.peak_occupancy = 0
+        self.total_buffered = 0
+        #: Entries recorded while the buffer was already at capacity — the
+        #: timing model turns these into dispatch stalls; functionally the
+        #: entry is still kept (no alias update may ever be lost).
+        self.overflows = 0
+
+    def record(self, seq: int, address: int, pid: int) -> None:
+        if len(self._pending) >= self.capacity:
+            self.overflows += 1
+        self._pending.append(_PendingStore(seq, address, pid))
+        self.total_buffered += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._pending))
+
+    def forward(self, address: int) -> Optional[int]:
+        """Store-to-load forwarding of PIDs for same-address reloads."""
+        for entry in reversed(self._pending):
+            if entry.address == address:
+                return entry.pid
+        return None
+
+    def commit_upto(self, seq: int, table: ShadowAliasTable,
+                    cache: AliasCache) -> List[Tuple[int, int]]:
+        """Drain entries with sequence <= ``seq`` into the alias structures.
+
+        Returns the (address, pid) pairs committed, so the system layer can
+        broadcast invalidations to other cores.
+        """
+        committed: List[Tuple[int, int]] = []
+        while self._pending and self._pending[0].seq <= seq:
+            entry = self._pending.popleft()
+            table.set(entry.address, entry.pid)
+            if entry.pid:
+                cache.install(entry.address, entry.pid)
+            else:
+                cache.invalidate(entry.address)
+            committed.append((entry.address, entry.pid))
+        return committed
+
+    def squash_after(self, seq: int) -> int:
+        dropped = 0
+        while self._pending and self._pending[-1].seq > seq:
+            self._pending.pop()
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._pending)

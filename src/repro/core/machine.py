@@ -1,0 +1,843 @@
+"""The CHEx86 machine: functional execution + CHEx86 protection + timing.
+
+One :class:`Chex86Machine` is one core.  It executes a program at micro-op
+granularity, running the paper's whole stack in the right places:
+
+* **front end** — fetch, heap-function interception (MCU), CISC-to-RISC
+  decode, Table I rule application by the speculative pointer tracker,
+  reload prediction, and ``capCheck`` injection;
+* **back end** — functional execution of every micro-op (including the
+  capability micro-ops against the shadow capability table), alias-table
+  resolution with misprediction classification, and the scoreboard timing
+  model;
+* **commit** — PID tag finalization, store-buffer drain into the alias
+  structures, and invalidation broadcast in multi-core systems.
+
+Wrong paths are not executed; their cost is charged as squash penalty
+cycles (see ``repro.pipeline.timing``), and the tracker/store-buffer squash
+logic is exercised with the offending sequence numbers exactly as the
+recovery hardware would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..heap.allocator import HOSTOP_UOP_COST
+from ..heap.library import host_dispatch_table, registrations_for
+from ..isa.instructions import INSTR_SLOT, Instr, Op
+from ..isa.program import Program, STACK_TOP
+from ..isa.registers import MASK64, RET_REG, Flag, Reg, compute_flags, to_s64
+from ..memory.cache import SetAssocCache
+from ..memory.tlb import Tlb
+from ..microop.decoder import DecodePath, Decoder
+from ..microop.uops import AluOp, NUM_UREGS, Uop, UopKind
+from ..pipeline.branch import FrontEndPredictors
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..pipeline.timing import FuType, TimingModel
+from .alias import AliasCache, StoreBufferPids, WALK_LEVELS
+from .capability import CAPABILITY_BYTES, WILD_PID
+from .checker import HardwareChecker
+from .mcu import MicrocodeCustomizationUnit
+from .predictor import MispredictKind, PointerReloadPredictor
+from .rules import MEMORY_POLICY, RuleDatabase
+from .tracker import SpeculativePointerTracker
+from .variants import CheckPolicy, Variant, traits_of
+from .violations import CapabilityException, Violation, ViolationKind, ViolationLog
+
+_RSP = int(Reg.RSP)
+_RAX = int(RET_REG)
+
+
+class MachineError(Exception):
+    """The simulated machine reached a state it cannot continue from."""
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced, with the derived metrics the paper plots."""
+
+    program: str
+    variant: Variant
+    halted: bool
+    instructions: int
+    uops: int
+    native_uops: int
+    injected_uops: int
+    cycles: int
+    violations: ViolationLog
+    machine: "Chex86Machine"
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def uop_expansion(self) -> float:
+        """Dynamic uops relative to the native translation (>= 1.0)."""
+        return self.uops / self.native_uops if self.native_uops else 1.0
+
+    @property
+    def flagged(self) -> bool:
+        return self.violations.flagged
+
+    def normalized_performance(self, baseline_cycles: int) -> float:
+        """Figure 6 top: baseline time / this time (1.0 = no slowdown)."""
+        return baseline_cycles / self.cycles if self.cycles else 0.0
+
+
+class Chex86Machine:
+    """One simulated core running one program under a chosen variant."""
+
+    def __init__(
+        self,
+        program: Program,
+        variant: Variant = Variant.UCODE_PREDICTION,
+        config: CoreConfig = DEFAULT_CONFIG,
+        system: Optional["System"] = None,
+        rules: Optional[RuleDatabase] = None,
+        critical_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        halt_on_violation: bool = True,
+        enable_checker: bool = False,
+        host_hooks: Optional[Dict[str, Callable]] = None,
+        profile_interval: int = 100_000,
+        stack_base: int = STACK_TOP,
+        entry_label: Optional[str] = None,
+    ) -> None:
+        self.program = program
+        self.variant = variant
+        self.traits = traits_of(variant)
+        self.config = config
+        if system is None:
+            # Deferred import: pipeline.system itself imports core modules.
+            from ..pipeline.system import System
+            system = System(config)
+        self.system = system
+        self.core_id = self.system.register_core(self)
+        self.memory = self.system.memory
+        self.allocator = self.system.allocator
+        self.captable = self.system.captable
+        self.alias_table = self.system.alias_table
+        self.halt_on_violation = halt_on_violation
+        self.violations = ViolationLog()
+
+        # Architectural state (extended with the two microcode temporaries).
+        self.regs: List[int] = [0] * NUM_UREGS
+        self.flags = Flag(0)
+        self.rip = (program.labels[entry_label] if entry_label is not None
+                    else program.entry)
+        self.regs[_RSP] = stack_base - 8 * 16  # leave a guard gap at the top
+        self.regs[int(Reg.RBP)] = self.regs[_RSP]
+
+        # Front end.
+        self.decoder = Decoder()
+        self.predictors = FrontEndPredictors(config.btb_entries,
+                                             config.ras_entries)
+        self.tracker = SpeculativePointerTracker(
+            rules if rules is not None else RuleDatabase.table1())
+        self.reload_predictor = PointerReloadPredictor(config.predictor_entries)
+        self.mcu = MicrocodeCustomizationUnit(
+            registrations_for(program), self.traits, critical_ranges)
+
+        # Per-core shadow caches and TLB.
+        self.capcache = SetAssocCache(config.capcache_entries,
+                                      config.capcache_entries,  # fully assoc.
+                                      line_shift=0, name="capcache")
+        self.alias_cache = AliasCache(config.aliascache_entries,
+                                      config.aliascache_ways,
+                                      config.alias_victim_entries)
+        self.store_buffer = StoreBufferPids(config.sq_entries)
+        self.tlb = Tlb(config.dtlb_entries, config.dtlb_ways,
+                       hosting=self.system.alias_hosting_pages)
+
+        # Timing.
+        self.timing = TimingModel(config, self.system.l2,
+                                  name=f"core{self.core_id}")
+
+        # Host escape table (the heap library's implementation).
+        self.host_table = host_dispatch_table(self.allocator)
+        if host_hooks:
+            self.host_table.update(host_hooks)
+
+        # Checker co-processor (rule auto-construction workflow).
+        self.checker = HardwareChecker(self.captable) if enable_checker else None
+
+        # Capability event state (pending two-step generations/frees).
+        self._pending_gens: List[int] = []
+        self._pending_frees: List[int] = []
+
+        # Bookkeeping.
+        self._seq = 0
+        self.instructions = 0
+        self.native_uops = 0
+        self.total_uops = 0
+        self.halted = False
+        self._global_pids: Dict[str, int] = {}
+
+        # Figure 3 profiling: distinct PIDs dereferenced per interval.
+        self.profile_interval = profile_interval
+        self._interval_pids: Set[int] = set()
+        self.interval_pid_counts: List[int] = []
+
+        # Table II profiling: (pc, pid) trace of pointer-reload events.
+        self.trace_reloads = False
+        self.reload_trace: List[Tuple[int, int]] = []
+
+        # SimPoint-style profiling: per-interval basic-block (instruction
+        # execution frequency) vectors.  Enabled by setting bbv_interval.
+        self.bbv_interval: int = 0
+        self.bbv_vectors: List[Dict[int, int]] = []
+        self._bbv_current: Dict[int, int] = {}
+
+        # Execution tracing: set trace_limit > 0 to record the first N
+        # (pc, instruction) steps for debugging; format with format_trace().
+        self.trace_limit: int = 0
+        self.execution_trace: List[Tuple[int, Instr]] = []
+
+        self._load_program()
+
+    # ------------------------------------------------------------------ load
+
+    def _load_program(self) -> None:
+        """Load globals, seed capabilities for symbol-table objects, and
+        seed alias entries for the constant-pool slots.
+
+        In a multicore system the program image and shadow state are
+        per-process: the first core to attach performs the load, later
+        cores just pick up the global PID map.
+        """
+        key = id(self.program)
+        already = self.system.loaded_programs.get(key)
+        if already is not None:
+            self._global_pids = already
+            return
+        for obj in self.program.globals:
+            if obj.init_words:
+                self.memory.fill_words(obj.address, obj.init_words)
+        if self.traits.intercepts_heap:
+            for obj in self.program.symbol_table():
+                pid = self.captable.register_global(obj.address, obj.size)
+                self._global_pids[obj.name] = pid
+            for obj in self.program.globals:
+                if obj.pool_for is not None \
+                        and obj.pool_for in self._global_pids:
+                    self.alias_table.set(obj.address,
+                                         self._global_pids[obj.pool_for])
+                    self.tlb.mark_alias_hosting(obj.address)
+        self.system.loaded_programs[key] = self._global_pids
+
+    def global_pid(self, name: str) -> int:
+        """PID assigned to a symbol-table global at load (0 if untracked)."""
+        return self._global_pids.get(name, 0)
+
+    def stats_summary(self) -> str:
+        """Human-readable digest of every subsystem's statistics."""
+        timing = self.timing.finish()
+        predictor = self.reload_predictor.stats
+        ipc = self.instructions / timing.cycles if timing.cycles else 0.0
+        lines = [
+            f"program {self.program.name!r} under {self.variant.value}:",
+            f"  instructions  {self.instructions:>12,}   "
+            f"uops {self.total_uops:,} "
+            f"({self.mcu.stats.injected_uops:,} injected)",
+            f"  cycles        {timing.cycles:>12,}   IPC {ipc:.2f}",
+            f"  capability$   {self.capcache.stats.accesses:>12,} accesses, "
+            f"{self.capcache.stats.miss_rate:.1%} miss",
+            f"  alias$        {self.alias_cache.stats.accesses:>12,} accesses, "
+            f"{self.alias_cache.stats.miss_rate:.1%} miss",
+            f"  reload pred.  {predictor.lookups:>12,} lookups, "
+            f"{predictor.accuracy:.1%} accurate "
+            f"(P0AN {predictor.p0an} / PNA0 {predictor.pna0} "
+            f"/ PMAN {predictor.pman})",
+            f"  squash        {timing.squash_fraction:>11.1%} of time "
+            f"({timing.alias_squash_cycles:,} alias cycles)",
+            f"  heap          {self.allocator.stats.total_allocs:,} allocs, "
+            f"{self.allocator.stats.total_frees:,} frees, "
+            f"peak live {self.allocator.stats.max_live:,}",
+            f"  shadow        {self.system.shadow_bytes:,} B "
+            f"({len(self.captable)} capabilities, "
+            f"{self.alias_table.live_entries} live aliases)",
+            f"  violations    {self.violations.count():,}",
+        ]
+        return "\n".join(lines)
+
+    def format_trace(self) -> str:
+        """Render the recorded execution trace (see ``trace_limit``)."""
+        from ..isa.disasm import format_instr
+
+        labels_by_address = {addr: name
+                             for name, addr in self.program.labels.items()}
+        lines = []
+        for pc, instr in self.execution_trace:
+            label = labels_by_address.get(pc)
+            prefix = f"{label}: " if label and instr.label == label else ""
+            lines.append(f"{pc:#x}:  {prefix}"
+                         f"{format_instr(instr, labels_by_address)}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------- run
+
+    def run_quantum(self, budget: int) -> int:
+        """Execute up to ``budget`` macro instructions (multicore timeslice).
+
+        A trapping violation halts the core and is recorded.  Returns the
+        number of instructions actually executed.
+        """
+        executed = 0
+        try:
+            while not self.halted and executed < budget:
+                self.step()
+                executed += 1
+        except CapabilityException as exc:
+            self.violations.record(exc.violation)
+            self.halted = True
+        return executed
+
+    def run(self, max_instructions: int = 2_000_000) -> RunResult:
+        """Execute until ``halt``, a trapping violation, or the budget."""
+        self.run_quantum(max_instructions)
+        stats = self.timing.finish()
+        return RunResult(
+            program=self.program.name,
+            variant=self.variant,
+            halted=self.halted,
+            instructions=self.instructions,
+            uops=self.total_uops,
+            native_uops=self.native_uops,
+            injected_uops=self.mcu.stats.injected_uops,
+            cycles=stats.cycles,
+            violations=self.violations,
+            machine=self,
+        )
+
+    def step(self) -> None:
+        """Fetch, decode, instrument, and execute one macro instruction."""
+        pc = self.rip
+        try:
+            instr = self.program.fetch(pc)
+        except ValueError as exc:
+            raise MachineError(
+                f"control transfer outside text: rip={pc:#x}") from exc
+        macro_index = self.program.index_of(pc)
+        if self.trace_limit and len(self.execution_trace) < self.trace_limit:
+            self.execution_trace.append((pc, instr))
+        uops, path = self.decoder.decode(instr, pc, macro_index,
+                                         id(self.program))
+        self.native_uops += len(uops)
+
+        injected = self.mcu.intercept(pc)
+        stream: List[Uop] = injected + uops if injected else uops
+
+        fetch_slots = 1
+        if (self.traits.checks_in_macro_stream
+                and any(u.is_mem for u in uops)):
+            fetch_slots = 2  # BT check instructions ride in the macro stream
+        self.timing.begin_macro(pc, fetch_slots,
+                                msrom=path is DecodePath.MSROM or bool(injected))
+
+        next_rip = pc + INSTR_SLOT
+        track = self.traits.tracks_pointers
+        for uop in stream:
+            # ---- front end: pointer tracking + check injection ------------
+            base_pid = 0
+            if track and uop.is_mem and not uop.injected:
+                base_pid = self.tracker.base_pid(uop)
+                check = self.mcu.check_for(pc, uop, base_pid)
+                if check is not None:
+                    check.macro_index = macro_index
+                    self._seq += 1
+                    self.total_uops += 1
+                    self._execute_uop(check, pc, self._seq, base_pid)
+                    if self.halted:
+                        break
+
+            self._seq += 1
+            seq = self._seq
+            self.total_uops += 1
+            target = self._execute_uop(uop, pc, seq, base_pid)
+            if target is not None:
+                next_rip = target
+            if self.halted:
+                break
+
+        # ---- commit ----------------------------------------------------------
+        self.instructions += 1
+        if self.traits.tracks_pointers:
+            self.tracker.commit(self._seq)
+            committed = self.store_buffer.commit_upto(
+                self._seq, self.alias_table, self.alias_cache)
+            for address, pid in committed:
+                if pid:
+                    self.tlb.mark_alias_hosting(address)
+                self.system.broadcast_alias_invalidate(address, self.core_id)
+        if self.instructions % self.profile_interval == 0:
+            self.interval_pid_counts.append(len(self._interval_pids))
+            self._interval_pids = set()
+        if self.bbv_interval:
+            self._bbv_current[macro_index] = \
+                self._bbv_current.get(macro_index, 0) + 1
+            if self.instructions % self.bbv_interval == 0:
+                self.bbv_vectors.append(self._bbv_current)
+                self._bbv_current = {}
+        self.rip = next_rip
+
+    # ------------------------------------------------------------ uop execute
+
+    def _execute_uop(self, uop: Uop, pc: int, seq: int,
+                     base_pid: int) -> Optional[int]:
+        """Execute one micro-op functionally and charge its timing.
+
+        Returns a control-flow target when the uop redirects fetch.
+        """
+        kind = uop.kind
+        if kind is UopKind.LD:
+            self._exec_load(uop, pc, seq)
+            return None
+        if kind is UopKind.ST:
+            self._exec_store(uop, pc, seq)
+            return None
+        if kind is UopKind.ALU:
+            self._exec_alu(uop, pc, seq)
+            return None
+        if kind is UopKind.LIMM:
+            self.regs[uop.dst] = uop.imm & MASK64
+            self._track(uop, seq)
+            self.timing.schedule((), uop.dst, 1)
+            self._check_rule(uop, pc)
+            return None
+        if kind is UopKind.MOV:
+            self.regs[uop.dst] = self.regs[uop.srcs[0]]
+            self._track(uop, seq)
+            self.timing.schedule(uop.srcs, uop.dst, 1)
+            self._check_rule(uop, pc)
+            return None
+        if kind is UopKind.LEA:
+            self.regs[uop.dst] = self._effective_address(uop)
+            self._track(uop, seq)
+            self.timing.schedule(uop.reg_reads(), uop.dst, 1)
+            self._check_rule(uop, pc)
+            return None
+        if kind in (UopKind.BR, UopKind.JMP, UopKind.JMP_IND):
+            return self._exec_branch(uop, pc, seq)
+        if kind is UopKind.CAPCHECK:
+            self._exec_capcheck(uop, pc)
+            return None
+        if kind is UopKind.CAPGEN_BEGIN:
+            self._exec_capgen_begin(uop, pc)
+            return None
+        if kind is UopKind.CAPGEN_END:
+            self._exec_capgen_end(uop, seq)
+            return None
+        if kind is UopKind.CAPFREE_BEGIN:
+            self._exec_capfree_begin(uop, pc)
+            return None
+        if kind is UopKind.CAPFREE_END:
+            self._exec_capfree_end()
+            return None
+        if kind is UopKind.HOSTOP:
+            self._exec_hostop(uop, seq)
+            return None
+        if kind is UopKind.NOP:
+            self.timing.schedule((), None, 1)
+            return None
+        if kind is UopKind.ZERO_IDIOM:
+            return None  # squashed at the instruction queue: zero cost
+        if kind is UopKind.HALT:
+            self.halted = True
+            return None
+        raise MachineError(f"unknown uop kind {kind}")  # pragma: no cover
+
+    # -- memory ops ---------------------------------------------------------------
+
+    def _exec_load(self, uop: Uop, pc: int, seq: int) -> None:
+        address = self._effective_address(uop)
+        value = self.memory.read_word(address & ~7)
+        self.regs[uop.dst] = value
+        self.tlb.access(address)
+        latency = self.timing.mem_access(address, is_store=False)
+        if self.mcu.lsu_checks():
+            # Hardware-only variant: the capability check is fused into the
+            # load/store unit ahead of the access, lengthening every load's
+            # critical path (the paper's stated drawback of this variant).
+            latency += self.config.lsu_check_latency
+        done = self.timing.schedule(uop.reg_reads(), uop.dst, latency,
+                                    FuType.LOAD)
+        if self.traits.tracks_pointers:
+            # The rule database decides whether loads propagate PIDs from
+            # memory (Table I's LD rule); without it the destination is
+            # simply zeroed — which is what the checker co-processor then
+            # catches during rule auto-construction.
+            policy = self.tracker.apply(uop, seq)
+            if policy is MEMORY_POLICY:
+                self._resolve_reload(uop, pc, address & ~7, seq, done)
+            self._check_rule(uop, pc)
+        if self.mcu.lsu_checks():
+            self._lsu_check(uop, address, write=False, pc=pc)
+
+    def _exec_store(self, uop: Uop, pc: int, seq: int) -> None:
+        address = self._effective_address(uop)
+        data = self.regs[uop.srcs[0]] if uop.srcs else (uop.imm & MASK64)
+        self.memory.write_word(address & ~7, data)
+        self.tlb.access(address)
+        self.timing.mem_access(address, is_store=True)
+        store_latency = 1
+        if self.mcu.lsu_checks():
+            store_latency += self.config.lsu_check_latency
+        self.timing.schedule(uop.reg_reads(), None, store_latency,
+                             FuType.STORE)
+        if self.traits.tracks_pointers:
+            policy = self.tracker.apply(uop, seq)
+            if policy is MEMORY_POLICY:
+                src_pid = (self.tracker.current_pid(uop.srcs[0])
+                           if uop.srcs else 0)
+                if src_pid == WILD_PID:
+                    # The alias table records genuine capabilities only; the
+                    # wild sentinel stays register-resident (Section V-A).
+                    src_pid = 0
+                self.store_buffer.record(seq, address & ~7, src_pid)
+        if self.mcu.lsu_checks():
+            self._lsu_check(uop, address, write=True, pc=pc)
+
+    def _resolve_reload(self, uop: Uop, pc: int, address: int, seq: int,
+                        done: int = 0) -> None:
+        """Alias resolution for a load destination (the reload path).
+
+        The predictor (and its blacklist) is part of the pointer-tracking
+        hardware every protected variant carries; only the *recovery
+        penalties* are specific to the prediction-driven check policy —
+        the always-on policies inject the check regardless, so a wrong
+        front-end PID is repaired by forwarding, never by a flush.
+        """
+        predicted = self.reload_predictor.predict(pc)
+        # Store-to-load forwarding of PIDs beats the cache/table.
+        forwarded = self.store_buffer.forward(address)
+        if forwarded is not None:
+            actual = forwarded
+        elif self.reload_predictor.is_blacklisted(pc):
+            # Confidently a data load: the alias-cache validation lookup is
+            # skipped (the blacklist's anti-pollution role).  When the
+            # blacklist is stale the walk result disagrees, the P0AN path
+            # below recovers, and the blacklist entry is retrained.
+            actual = self.alias_table.peek(address)
+            if actual:
+                walk_latency = (self.config.alias_walk_level_latency
+                                * WALK_LEVELS)
+                # Upper radix levels hit the walker's paging-structure
+                # caches; only the leaf (and occasionally one directory)
+                # entry moves from memory.
+                self.timing.shadow_access(walk_latency, 16)
+                self.timing.occupy(FuType.WALKER, done, walk_latency)
+                self.alias_cache.install(address, actual)
+        elif self.tlb.page_hosts_aliases(address):
+            actual, hit = self.alias_cache.lookup(address, self.alias_table)
+            if not hit:
+                # The hardware walker traverses up to five levels; it is
+                # off the load's critical path but occupies the walker
+                # and moves shadow traffic.
+                walk_latency = (self.config.alias_walk_level_latency
+                                * WALK_LEVELS)
+                self.timing.shadow_access(walk_latency, 16)
+                self.timing.occupy(FuType.WALKER, done, walk_latency)
+        else:
+            actual = 0
+        outcome = self.reload_predictor.update(pc, predicted, actual)
+        if self.traits.check_policy is CheckPolicy.TRACKED:
+            if outcome == MispredictKind.P0AN:
+                # Missing check: flush, squash, re-inject (Figure 5d).
+                # The flush resolves when the load's effective address (and
+                # thus the alias lookup) is available — the load's done cycle.
+                self.timing.redirect(done, self.config.alias_flush_penalty,
+                                     alias=True)
+                self.tracker.squash(seq)
+                self.store_buffer.squash_after(seq)
+            elif outcome == MispredictKind.PNA0:
+                # The check injected for the predicted PID becomes a zero
+                # idiom, squashed at the instruction queue (Figure 5c).
+                ghost = Uop(UopKind.CAPCHECK, injected=True)
+                self.mcu.stats.injected_uops += 1
+                self.mcu.demote_to_zero_idiom(ghost)
+                self.total_uops += 1
+        if self.trace_reloads and actual > 0:
+            self.reload_trace.append((pc, actual))
+        self.tracker.set_pid(uop.dst, actual, seq)
+
+    # -- ALU / branches ----------------------------------------------------------------
+
+    def _exec_alu(self, uop: Uop, pc: int, seq: int) -> None:
+        alu = uop.alu
+        operands = [self.regs[s] for s in uop.srcs]
+        if uop.imm is not None:
+            operands.append(uop.imm & MASK64)
+        result, carry, overflow = _alu_compute(alu, operands)
+        if alu not in (AluOp.CMP, AluOp.TEST) and uop.dst is not None:
+            self.regs[uop.dst] = result
+        if uop.writes_flags:
+            self.flags = compute_flags(result, carry, overflow)
+        if self.traits.tracks_pointers:
+            self._track(uop, seq)
+        fu = FuType.MULT if alu is AluOp.MUL else FuType.ALU
+        latency = 3 if alu is AluOp.MUL else 1
+        self.timing.schedule(uop.srcs, uop.dst, latency, fu,
+                             reads_flags=uop.reads_flags,
+                             writes_flags=uop.writes_flags)
+        if uop.dst is not None:
+            self._check_rule(uop, pc)
+
+    def _exec_branch(self, uop: Uop, pc: int, seq: int) -> Optional[int]:
+        kind = uop.kind
+        done = self.timing.schedule(uop.srcs, None, 1, FuType.ALU,
+                                    reads_flags=kind is UopKind.BR)
+        if kind is UopKind.JMP:
+            # Direct jumps/calls: target known at decode; push calls on RAS.
+            instr_op = self.program.instrs[uop.macro_index].op \
+                if 0 <= uop.macro_index < len(self.program.instrs) else None
+            if instr_op is Op.CALL:
+                self.predictors.on_call(pc + INSTR_SLOT)
+            self.timing.taken_branch()
+            return uop.target
+        if kind is UopKind.BR:
+            taken = _branch_taken(uop.cond, self.flags)
+            correct = self.predictors.resolve_conditional(pc, taken)
+            if not correct:
+                self.timing.redirect(done,
+                                     self.config.branch_mispredict_penalty)
+                if self.traits.tracks_pointers:
+                    self.tracker.squash(seq)
+                    self.store_buffer.squash_after(seq)
+            elif taken:
+                self.timing.taken_branch()
+            return uop.target if taken else None
+        # Indirect jump (function return in this ISA).
+        actual = self.regs[uop.srcs[0]]
+        instr_op = self.program.instrs[uop.macro_index].op \
+            if 0 <= uop.macro_index < len(self.program.instrs) else None
+        correct = self.predictors.resolve_indirect(
+            pc, actual, is_return=instr_op is Op.RET)
+        if not correct:
+            self.timing.redirect(done, self.config.branch_mispredict_penalty)
+            if self.traits.tracks_pointers:
+                self.tracker.squash(seq)
+                self.store_buffer.squash_after(seq)
+        else:
+            self.timing.taken_branch()
+        return actual
+
+    # -- capability micro-ops ---------------------------------------------------------------
+
+    def _exec_capcheck(self, uop: Uop, pc: int) -> None:
+        # Injected checks carry the PID the MCU attached at decode; native
+        # capchk ISA-extension instructions (the binary-translation path)
+        # resolve it from the pointer tracker here.
+        pid = uop.pid if uop.injected else self.tracker.base_pid(uop)
+        address = self._effective_address(uop)
+        if pid == 0:
+            # Conservative (always-on) check of an untracked access: the
+            # hardware still has to consult shadow metadata to establish
+            # that no capability governs the address — the Watchdog-style
+            # cost of indiscriminate instrumentation the paper measures at
+            # ~40% (Section VII-C).
+            self.timing.shadow_access(self.config.capcheck_latency, 8)
+            self.timing.schedule(uop.reg_reads(), None,
+                                 self.config.capcheck_latency, FuType.CMU,
+                                 occupancy=self.config.capcheck_latency)
+            return
+        latency = self.config.capcheck_latency
+        if not self.capcache.access(pid):
+            # Capability-cache miss: the shadow-table fetch delays this
+            # check's completion but the CMU itself stays pipelined (the
+            # fetch rides the walker/memory path).
+            latency += self.config.captable_latency
+            self.timing.shadow_access(latency, CAPABILITY_BYTES)
+        self.timing.schedule(uop.reg_reads(), None, latency, FuType.CMU,
+                             occupancy=self.config.capcheck_latency)
+        violation = self.captable.check(pid, address, 8,
+                                        write=uop.check_write)
+        if violation is not None:
+            self._flag(violation, pc)
+        elif pid > 0:
+            self._interval_pids.add(pid)
+
+    def _lsu_check(self, uop: Uop, address: int, write: bool, pc: int) -> None:
+        """Hardware-only variant: the LSU checks every memory access.
+
+        The fixed check latency is folded into the memory operation itself
+        (see ``_exec_load``/``_exec_store``); this resolves the capability
+        lookup functionally and charges capability-cache miss penalties.
+        """
+        base_pid = self.tracker.base_pid(uop)
+        if base_pid == 0:
+            return
+        if not self.capcache.access(base_pid):
+            latency = self.config.captable_latency
+            self.timing.shadow_access(latency, CAPABILITY_BYTES)
+            self.timing.occupy(FuType.CMU, self.timing.now, latency)
+        violation = self.captable.check(base_pid, address, 8, write=write)
+        if violation is not None:
+            self._flag(violation, pc)
+        elif base_pid > 0:
+            self._interval_pids.add(base_pid)
+
+    def _exec_capgen_begin(self, uop: Uop, pc: int) -> None:
+        size = 1
+        for src in uop.srcs:
+            size *= to_s64(self.regs[src])
+        pid, violation = self.captable.begin_generation(size)
+        self._pending_gens.append(pid)
+        self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
+        if violation is not None:
+            self._flag(violation, pc)
+
+    def _exec_capgen_end(self, uop: Uop, seq: int) -> None:
+        if not self._pending_gens:
+            return  # exit reached without a matching entry interception
+        pid = self._pending_gens.pop()
+        base = self.regs[uop.srcs[0]]
+        self.captable.end_generation(pid, base)
+        self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
+        # The return register carries the PID even when the allocation
+        # failed: the capability exists but was never validated, so any
+        # dereference of the NULL return is flagged.
+        self.tracker.set_pid(uop.srcs[0], pid, seq)
+        self.capcache.access(pid)  # a fresh allocation is immediately in use
+
+    def _exec_capfree_begin(self, uop: Uop, pc: int) -> None:
+        ptr_reg = uop.srcs[0]
+        pointer = self.regs[ptr_reg]
+        self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
+        if pointer == 0:
+            self._pending_frees.append(0)  # free(NULL): defined no-op
+            return
+        pid = self.tracker.current_pid(ptr_reg)
+        violation = self.captable.begin_free(pid)
+        if violation is None:
+            capability = self.captable.get(pid)
+            if capability is not None and capability.base != pointer:
+                violation = Violation(
+                    kind=ViolationKind.INVALID_FREE, pid=pid, address=pointer,
+                    detail=f"free of interior pointer {pointer:#x} "
+                           f"(base {capability.base:#x})",
+                )
+        self._pending_frees.append(pid if violation is None else 0)
+        if violation is not None:
+            self._flag(violation, pc)
+
+    def _exec_capfree_end(self) -> None:
+        if not self._pending_frees:
+            return
+        pid = self._pending_frees.pop()
+        self.timing.schedule((), None, 3, FuType.CMU)
+        if pid == 0:
+            return
+        self.captable.end_free(pid)
+        self.capcache.invalidate(pid)
+        self.system.broadcast_cap_invalidate(pid, self.core_id)
+
+    # -- host escapes -------------------------------------------------------------------------
+
+    def _exec_hostop(self, uop: Uop, seq: int) -> None:
+        handler = self.host_table.get(uop.host_name)
+        if handler is None:
+            raise MachineError(f"no host routine named {uop.host_name!r}")
+        handler(self.regs)
+        cost = HOSTOP_UOP_COST.get(uop.host_name, 80)
+        self.timing.routine_call(cost, (int(Reg.RDI), int(Reg.RSI)),
+                                 int(Reg.RAX))
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _effective_address(self, uop: Uop) -> int:
+        mem = uop.mem
+        address = mem.disp
+        if mem.base is not None:
+            address += self.regs[int(mem.base)]
+        if mem.index is not None:
+            address += self.regs[int(mem.index)] * mem.scale
+        return address & MASK64
+
+    def _track(self, uop: Uop, seq: int) -> None:
+        if self.traits.tracks_pointers:
+            self.tracker.apply(uop, seq)
+
+    def _check_rule(self, uop: Uop, pc: int) -> None:
+        """Checker co-processor hook: validate the tracker's prediction."""
+        if self.checker is None or uop.dst is None:
+            return
+        if not self.traits.tracks_pointers:
+            return
+        predicted = self.tracker.current_pid(uop.dst)
+        self.checker.validate(uop, predicted, self.regs[uop.dst], pc)
+
+    def _flag(self, violation: Violation, pc: int) -> None:
+        violation = Violation(
+            kind=violation.kind, pid=violation.pid, address=violation.address,
+            size=violation.size, instr_address=pc, detail=violation.detail,
+        )
+        if self.halt_on_violation:
+            raise CapabilityException(violation)
+        self.violations.record(violation)
+
+
+# ---------------------------------------------------------------------------
+# ALU and branch-condition semantics.
+# ---------------------------------------------------------------------------
+
+def _alu_compute(alu: AluOp, operands: List[int]) -> Tuple[int, bool, bool]:
+    """64-bit ALU semantics; returns (result, carry, overflow)."""
+    a = operands[0] if operands else 0
+    b = operands[1] if len(operands) > 1 else 0
+    if alu is AluOp.ADD:
+        total = a + b
+        result = total & MASK64
+        carry = total > MASK64
+        overflow = (to_s64(a) >= 0) == (to_s64(b) >= 0) and \
+                   (to_s64(result) >= 0) != (to_s64(a) >= 0)
+        return result, carry, overflow
+    if alu in (AluOp.SUB, AluOp.CMP):
+        total = a - b
+        result = total & MASK64
+        carry = a < b
+        overflow = (to_s64(a) >= 0) != (to_s64(b) >= 0) and \
+                   (to_s64(result) >= 0) != (to_s64(a) >= 0)
+        return result, carry, overflow
+    if alu in (AluOp.AND, AluOp.TEST):
+        return a & b, False, False
+    if alu is AluOp.OR:
+        return a | b, False, False
+    if alu is AluOp.XOR:
+        return a ^ b, False, False
+    if alu is AluOp.MUL:
+        return (a * b) & MASK64, False, False
+    if alu is AluOp.SHL:
+        return (a << (b & 63)) & MASK64, False, False
+    if alu is AluOp.SHR:
+        return (a >> (b & 63)) & MASK64, False, False
+    if alu is AluOp.NEG:
+        return (-a) & MASK64, a != 0, False
+    if alu is AluOp.NOT:
+        return (~a) & MASK64, False, False
+    raise MachineError(f"unknown ALU op {alu}")  # pragma: no cover
+
+
+def _branch_taken(cond: str, flags: Flag) -> bool:
+    zf = bool(flags & Flag.ZF)
+    sf = bool(flags & Flag.SF)
+    cf = bool(flags & Flag.CF)
+    of = bool(flags & Flag.OF)
+    if cond == "je":
+        return zf
+    if cond == "jne":
+        return not zf
+    if cond == "jl":
+        return sf != of
+    if cond == "jle":
+        return zf or sf != of
+    if cond == "jg":
+        return not zf and sf == of
+    if cond == "jge":
+        return sf == of
+    if cond == "jb":
+        return cf
+    if cond == "jae":
+        return not cf
+    raise MachineError(f"unknown branch condition {cond}")  # pragma: no cover

@@ -1,0 +1,179 @@
+"""The Microcode Customization Unit (MCU).
+
+Implements the paper's on-demand micro-op instrumentation (Section IV):
+
+* **Heap interception** — the OS registers the entry and exit instruction
+  addresses of the heap-management functions (plus their register
+  signatures) in MSRs; when fetch reaches one of those addresses the MCU
+  re-routes translation through the microcode RAM and appends
+  ``capGen.Begin/End`` or ``capFree.Begin/End`` micro-ops.
+* **Dereference instrumentation** — depending on the variant's check
+  policy, memory micro-ops get a ``capCheck`` micro-op injected ahead of
+  them; in the prediction-driven default this is *surgical*: only
+  dereferences whose base register carries a non-zero PID are checked.
+* **Context sensitivity** — an optional set of security-critical code
+  ranges restricts ``capCheck`` injection to those regions while heap
+  interception (capability generation/freeing) stays always-on, so the
+  shadow state is complete whenever checks are enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..heap.library import HeapFnKind, RegisteredFunction
+from ..isa.registers import RET_REG
+from ..microop.uops import Uop, UopKind
+from .variants import CheckPolicy, VariantTraits
+
+
+def critical_ranges_for(program, function_labels: Sequence[str]
+                        ) -> List[Tuple[int, int]]:
+    """Derive critical code ranges from function labels.
+
+    Context-sensitive enforcement (Section IV) protects "security-critical
+    code"; operators think in functions, the MCU in address ranges.  A
+    function's extent runs from its label to the next *function boundary*
+    — where function boundaries are the program entry plus every label the
+    program ``call``s (internal loop labels do not split a function).
+    """
+    from ..isa.instructions import Op
+    from ..isa.operands import LabelRef
+
+    call_targets = {
+        program.labels[operand.name]
+        for instr in program.instrs if instr.op is Op.CALL
+        for operand in instr.operands
+        if isinstance(operand, LabelRef) and operand.name in program.labels
+    }
+    boundaries = sorted(call_targets | {program.entry, program.text_end})
+    ranges: List[Tuple[int, int]] = []
+    for name in function_labels:
+        start = program.labels.get(name)
+        if start is None:
+            raise KeyError(f"no label {name!r} in program {program.name!r}")
+        after = [b for b in boundaries if b > start]
+        ranges.append((start, after[0] if after else program.text_end))
+    return ranges
+
+
+@dataclass
+class McuStats:
+    """Injection counters (Figure 6 bottom: micro-op expansion)."""
+
+    injected_uops: int = 0
+    capchecks: int = 0
+    capchecks_suppressed_context: int = 0
+    capgen_events: int = 0
+    capfree_events: int = 0
+    entry_intercepts: int = 0
+    exit_intercepts: int = 0
+    zero_idioms: int = 0
+
+
+class MicrocodeCustomizationUnit:
+    """Injects capability micro-ops into the decoded stream."""
+
+    def __init__(
+        self,
+        registrations: Sequence[RegisteredFunction],
+        traits: VariantTraits,
+        critical_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> None:
+        self.traits = traits
+        self._by_entry: Dict[int, RegisteredFunction] = {}
+        self._by_exit: Dict[int, RegisteredFunction] = {}
+        if traits.intercepts_heap:
+            for registration in registrations:
+                self._by_entry[registration.entry] = registration
+                self._by_exit[registration.exit] = registration
+        self.critical_ranges = list(critical_ranges) if critical_ranges else None
+        self.stats = McuStats()
+
+    # -- heap interception ------------------------------------------------------
+
+    def intercept(self, address: int) -> List[Uop]:
+        """Micro-ops to append for a fetch at ``address`` (usually none).
+
+        Entry of an allocation routine yields ``capGen.Begin`` (reading the
+        size registers); its exit yields ``capGen.End`` (reading the return
+        register).  ``free`` mirrors this with ``capFree``; ``realloc``
+        yields both pairs.
+        """
+        injected: List[Uop] = []
+        registration = self._by_entry.get(address)
+        if registration is not None:
+            self.stats.entry_intercepts += 1
+            if registration.kind in (HeapFnKind.FREE, HeapFnKind.REALLOC):
+                injected.append(self._make(
+                    UopKind.CAPFREE_BEGIN, srcs=(int(registration.ptr_reg),)))
+                self.stats.capfree_events += 1
+            if registration.kind in (HeapFnKind.ALLOC, HeapFnKind.REALLOC):
+                injected.append(self._make(
+                    UopKind.CAPGEN_BEGIN,
+                    srcs=tuple(int(r) for r in registration.size_regs)))
+                self.stats.capgen_events += 1
+        registration = self._by_exit.get(address)
+        if registration is not None:
+            self.stats.exit_intercepts += 1
+            if registration.kind in (HeapFnKind.FREE, HeapFnKind.REALLOC):
+                injected.append(self._make(UopKind.CAPFREE_END))
+            if registration.kind in (HeapFnKind.ALLOC, HeapFnKind.REALLOC):
+                injected.append(self._make(
+                    UopKind.CAPGEN_END, srcs=(int(RET_REG),)))
+        return injected
+
+    # -- dereference instrumentation ----------------------------------------------
+
+    def check_for(self, pc: int, uop: Uop, base_pid: int) -> Optional[Uop]:
+        """The ``capCheck`` to inject ahead of memory micro-op ``uop``.
+
+        Returns None when the policy does not instrument this access.  The
+        LSU policy (hardware-only variant) never injects — its checks are
+        fused into the load/store itself (the machine asks
+        :meth:`lsu_checks` instead).
+        """
+        policy = self.traits.check_policy
+        if policy in (CheckPolicy.NONE, CheckPolicy.LSU,
+                      CheckPolicy.EXPLICIT):
+            # EXPLICIT: the binary already carries its capchk instructions
+            # (the translator's output); nothing to inject.
+            return None
+        if not uop.is_mem or uop.is_capability:
+            return None
+        if policy is CheckPolicy.TRACKED and base_pid == 0:
+            return None
+        if self.critical_ranges is not None and not self._critical(pc):
+            # Context-sensitive mode: allocations are still tracked, but
+            # checks outside the security-critical regions are not injected.
+            self.stats.capchecks_suppressed_context += 1
+            return None
+        check = self._make(UopKind.CAPCHECK, mem=uop.mem)
+        check.pid = base_pid
+        check.check_write = uop.kind is UopKind.ST
+        self.stats.capchecks += 1
+        return check
+
+    def lsu_checks(self) -> bool:
+        """Whether the load/store unit performs fused checks (HW-only)."""
+        return self.traits.check_policy is CheckPolicy.LSU
+
+    def demote_to_zero_idiom(self, check: Uop) -> None:
+        """PNA0 recovery: mark an injected check as an x86 zero idiom so it
+        is squashed at the instruction queue before dispatch."""
+        check.kind = UopKind.ZERO_IDIOM
+        self.stats.zero_idioms += 1
+
+    # -- internals -------------------------------------------------------------------
+
+    def _make(self, kind: UopKind, srcs: Tuple[int, ...] = (), mem=None) -> Uop:
+        self.stats.injected_uops += 1
+        return Uop(kind, srcs=srcs, mem=mem, injected=True)
+
+    def _critical(self, pc: int) -> bool:
+        return any(lo <= pc < hi for lo, hi in self.critical_ranges)
+
+    @property
+    def intercept_addresses(self) -> Tuple[int, ...]:
+        return tuple(set(self._by_entry) | set(self._by_exit))

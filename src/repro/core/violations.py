@@ -1,0 +1,96 @@
+"""Memory-safety violation taxonomy and reporting.
+
+These are the violation classes the paper's security evaluation (Section
+VII-A) detects: out-of-bounds accesses, use-after-free, double free, invalid
+free, wild (constant-address) dereferences, and heap-spray / resource
+exhaustion attempts at allocation time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ViolationKind(enum.Enum):
+    """What a capability micro-op flagged."""
+
+    OUT_OF_BOUNDS = "out-of-bounds"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    INVALID_FREE = "invalid-free"
+    #: Dereference through PID(-1): a constant integer address that was never
+    #: produced by a registered allocation (Table I's MOVI rule).
+    WILD_DEREFERENCE = "wild-dereference"
+    #: Allocation request above the configured maximum block size (the
+    #: heap-spray / resource-exhaustion anchor point).
+    HEAP_SPRAY = "heap-spray"
+    #: Write to a read-only capability or similar permission mismatch.
+    PERMISSION = "permission"
+
+    @property
+    def cwe(self) -> str:
+        """The MITRE CWE identifier this violation class maps to."""
+        return _CWE_MAP[self]
+
+
+#: Violation class → CWE (the taxonomy security advisories use).
+_CWE_MAP = {
+    ViolationKind.OUT_OF_BOUNDS: "CWE-787/125",   # OOB write / read
+    ViolationKind.USE_AFTER_FREE: "CWE-416",
+    ViolationKind.DOUBLE_FREE: "CWE-415",
+    ViolationKind.INVALID_FREE: "CWE-590",        # free of non-heap memory
+    ViolationKind.WILD_DEREFERENCE: "CWE-822",    # untrusted pointer deref
+    ViolationKind.HEAP_SPRAY: "CWE-789",          # excessive allocation
+    ViolationKind.PERMISSION: "CWE-732",          # incorrect permissions
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One flagged violation, with enough context to diagnose it."""
+
+    kind: ViolationKind
+    pid: int
+    address: int = 0
+    size: int = 0
+    instr_address: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kind.value} (pid={self.pid}, addr={self.address:#x}, "
+            f"pc={self.instr_address:#x}) {self.detail}"
+        )
+
+
+class CapabilityException(Exception):
+    """Raised by the machine when a capability check fires and the run is
+    configured to trap (``halt_on_violation=True``)."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass
+class ViolationLog:
+    """Accumulates violations over a run (used when not trapping)."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    def record(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def count(self, kind: Optional[ViolationKind] = None) -> int:
+        if kind is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.kind is kind)
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.violations)
+
+    def kinds(self) -> List[ViolationKind]:
+        return [v.kind for v in self.violations]

@@ -1,0 +1,181 @@
+"""Interactive machine debugger: ``python -m repro debug prog.s``.
+
+A gdb-flavoured REPL over :class:`~repro.core.machine.Chex86Machine` for
+stepping programs under CHEx86 and inspecting the shadow state the paper
+adds — capabilities, PID tags, spilled aliases — next to the architectural
+state.
+
+Commands::
+
+    s / step [N]     execute N macro instructions (default 1)
+    c / continue     run until halt, violation, or budget
+    r / regs         architectural registers (with PID tags)
+    d / disasm       disassembly window around the current rip
+    caps             shadow capability table (most recent entries)
+    aliases          live spilled-pointer aliases
+    mem ADDR [N]     dump N words at ADDR
+    stats            machine statistics summary
+    why              diagnostic report for the last violation
+    q / quit         leave
+
+Scriptable: commands are read from stdin, so ``echo "s 10\\nregs\\nq" |
+python -m repro debug prog.s`` works in pipelines and tests.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List
+
+from .analysis.diagnostics import explain_violation
+from .core.capability import WILD_PID
+from .core.machine import Chex86Machine
+from .core.variants import Variant
+from .isa.disasm import format_instr
+from .isa.program import Program
+from .isa.registers import Reg
+
+
+class Debugger:
+    """The REPL; IO is injectable for tests."""
+
+    def __init__(self, machine: Chex86Machine,
+                 write: Callable[[str], None] = None) -> None:
+        self.machine = machine
+        self._write = write if write is not None else _stdout_write
+        self._budget = 2_000_000
+
+    # -- the loop -----------------------------------------------------------
+
+    def repl(self, lines) -> None:
+        self._write(f"chex86-dbg: {self.machine.program.name!r} under "
+                    f"{self.machine.variant.value}; 'q' quits, empty line "
+                    f"repeats 'step'")
+        self.cmd_disasm([])
+        last = ["step"]
+        for raw in lines:
+            parts = raw.strip().split()
+            if parts:
+                last = parts
+            command, args = last[0].lower(), last[1:]
+            if command in ("q", "quit", "exit"):
+                break
+            try:
+                self.dispatch(command, args)
+            except Exception as exc:  # robust REPL: report, keep going
+                self._write(f"error: {exc}")
+            if self.machine.halted:
+                self._write("(machine halted)")
+
+    def dispatch(self, command: str, args: List[str]) -> None:
+        handlers = {
+            "s": self.cmd_step, "step": self.cmd_step,
+            "c": self.cmd_continue, "continue": self.cmd_continue,
+            "r": self.cmd_regs, "regs": self.cmd_regs,
+            "d": self.cmd_disasm, "disasm": self.cmd_disasm,
+            "caps": self.cmd_caps,
+            "aliases": self.cmd_aliases,
+            "mem": self.cmd_mem,
+            "stats": self.cmd_stats,
+            "why": self.cmd_why,
+        }
+        handler = handlers.get(command)
+        if handler is None:
+            self._write(f"unknown command {command!r} "
+                        f"(try: {', '.join(sorted(handlers))})")
+            return
+        handler(args)
+
+    # -- commands ----------------------------------------------------------------
+
+    def cmd_step(self, args: List[str]) -> None:
+        count = int(args[0]) if args else 1
+        executed = self.machine.run_quantum(count)
+        self._write(f"stepped {executed} instruction(s)")
+        self.cmd_disasm([])
+
+    def cmd_continue(self, _args: List[str]) -> None:
+        executed = self.machine.run_quantum(self._budget)
+        self._write(f"ran {executed} instruction(s); "
+                    f"{self.machine.violations.count()} violation(s)")
+        if self.machine.violations.flagged:
+            self.cmd_why([])
+
+    def cmd_regs(self, _args: List[str]) -> None:
+        machine = self.machine
+        for row_start in range(0, 16, 4):
+            cells = []
+            for index in range(row_start, row_start + 4):
+                reg = Reg(index)
+                value = machine.regs[index]
+                pid = machine.tracker.current_pid(index) \
+                    if machine.traits.tracks_pointers else 0
+                tag = ""
+                if pid == WILD_PID:
+                    tag = " [wild]"
+                elif pid:
+                    tag = f" [pid {pid}]"
+                cells.append(f"{reg.name.lower():>3}={value:#014x}{tag}")
+            self._write("  ".join(cells))
+
+    def cmd_disasm(self, _args: List[str]) -> None:
+        machine = self.machine
+        program = machine.program
+        labels_by_address = {a: n for n, a in program.labels.items()}
+        try:
+            index = program.index_of(machine.rip)
+        except ValueError:
+            self._write(f"rip={machine.rip:#x} (outside text)")
+            return
+        for i in range(max(0, index - 2), min(len(program), index + 3)):
+            address = program.address_of(i)
+            label = labels_by_address.get(address)
+            if label and program.instrs[i].label == label:
+                self._write(f"{label}:")
+            marker = "=>" if i == index else "  "
+            self._write(f"{marker} {address:#x}:  "
+                        f"{format_instr(program.fetch(address), labels_by_address)}")
+
+    def cmd_caps(self, args: List[str]) -> None:
+        limit = int(args[0]) if args else 10
+        capabilities = list(self.machine.captable)
+        self._write(f"{len(capabilities)} capabilities "
+                    f"(showing last {min(limit, len(capabilities))}):")
+        for capability in capabilities[-limit:]:
+            self._write(f"  {capability}")
+
+    def cmd_aliases(self, _args: List[str]) -> None:
+        table = self.machine.alias_table
+        self._write(f"{table.live_entries} live spilled-pointer aliases; "
+                    f"shadow {table.shadow_bytes:,} B")
+
+    def cmd_mem(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: mem ADDR [N]")
+            return
+        address = int(args[0], 0) & ~7
+        count = int(args[1]) if len(args) > 1 else 4
+        for i in range(count):
+            word_address = address + i * 8
+            value = self.machine.memory.peek_word(word_address)
+            self._write(f"  {word_address:#x}: {value:#018x}")
+
+    def cmd_stats(self, _args: List[str]) -> None:
+        self._write(self.machine.stats_summary())
+
+    def cmd_why(self, _args: List[str]) -> None:
+        self._write(explain_violation(self.machine))
+
+
+def _stdout_write(text: str) -> None:
+    print(text)
+
+
+def debug_program(program: Program, variant: Variant = Variant.UCODE_PREDICTION,
+                  lines=None, write: Callable[[str], None] = None) -> Debugger:
+    """Start a debugger over ``program``; ``lines`` defaults to stdin."""
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=False)
+    debugger = Debugger(machine, write=write)
+    debugger.repl(lines if lines is not None else sys.stdin)
+    return debugger

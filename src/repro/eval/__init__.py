@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning a result object with
+``format_text()`` producing the paper-shaped rows/series:
+
+========== =====================================================
+``fig1``   CVE root causes by patch year
+``fig3``   benchmark allocation behaviour
+``fig6``   performance + uop expansion across design points
+``fig7``   capability / alias cache miss rates
+``fig8``   alias misprediction rate + squash time
+``fig9``   memory storage overhead + bandwidth
+``table1`` pointer-tracking rule database (+ auto-construction)
+``table2`` temporal pointer access patterns
+``table3`` simulated hardware configuration
+``table4`` comparison with prior techniques (measured CHEx86 row)
+``security`` RIPE / ASan-suite / How2Heap detection results
+========== =====================================================
+"""
+
+from . import ablations, fig1, fig3, fig6, fig7, fig8, fig9, security, table1, table2, table3, table4
+from .common import FIG6_LABELS, BenchmarkRun, defense_label, run_benchmark
+from .runner import ArtifactRecord, reproduce
+
+__all__ = [
+    "BenchmarkRun",
+    "FIG6_LABELS",
+    "ablations",
+    "defense_label",
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "run_benchmark",
+    "reproduce",
+    "ArtifactRecord",
+    "security",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,144 @@
+"""Ablation studies for the design choices DESIGN.md §5 calls out.
+
+Not paper figures — these isolate what each CHEx86 mechanism contributes,
+by re-running benchmarks with one mechanism degraded or disabled:
+
+* **context sensitivity** — surgical (critical-region-only) checks vs.
+  whole-program checks: injected-uop savings with unchanged tracking;
+* **capability-cache size sweep** — 8 → 256 entries (around Figure 7's
+  64/128 points);
+* **alias victim cache** — 32-entry victim vs. none;
+* **predictor size sweep** — 64 → 2048 entries (around Figure 8's points);
+* **TLB alias-hosting bit** — walks filtered for non-hosting pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..analysis.report import render_table
+from ..core.machine import Chex86Machine
+from ..core.variants import Variant
+from ..isa.assembler import assemble
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..workloads import build
+
+CAPCACHE_SWEEP = (8, 16, 32, 64, 128, 256)
+PREDICTOR_SWEEP = (64, 128, 256, 512, 1024, 2048)
+
+
+def _run(name: str, scale: int, config: CoreConfig,
+         max_instructions: int, **kwargs) -> Chex86Machine:
+    workload = build(name, scale)
+    machine = Chex86Machine(assemble(workload.source, name=name),
+                            variant=Variant.UCODE_PREDICTION, config=config,
+                            halt_on_violation=False, **kwargs)
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+@dataclass
+class AblationResult:
+    context: Dict[str, Dict[str, float]]
+    capcache_sweep: Dict[str, Dict[int, float]]
+    victim: Dict[str, Dict[str, float]]
+    predictor_sweep: Dict[str, Dict[int, float]]
+    tlb_filter: Dict[str, int]
+
+    def format_text(self) -> str:
+        context_rows = [
+            [bench,
+             f"{cells['full_checks']:,.0f}",
+             f"{cells['surgical_checks']:,.0f}",
+             f"{cells['uops_saved']:,.0f}",
+             f"{cells['allocs_tracked_equal']:.0f}"]
+            for bench, cells in self.context.items()
+        ]
+        cap_rows = [
+            [bench] + [f"{per[s]:.1%}" for s in CAPCACHE_SWEEP]
+            for bench, per in self.capcache_sweep.items()
+        ]
+        victim_rows = [
+            [bench, f"{cells['with']:.1%}", f"{cells['without']:.1%}"]
+            for bench, cells in self.victim.items()
+        ]
+        pred_rows = [
+            [bench] + [f"{per[s]:.1%}" for s in PREDICTOR_SWEEP]
+            for bench, per in self.predictor_sweep.items()
+        ]
+        tlb_rows = [[bench, f"{count:,}"]
+                    for bench, count in self.tlb_filter.items()]
+        return "\n\n".join([
+            render_table(["benchmark", "capChecks (full)",
+                          "capChecks (surgical)", "uops saved",
+                          "tracking unchanged"],
+                         context_rows,
+                         title="Ablation: context-sensitive enforcement"),
+            render_table(["benchmark"] + [str(s) for s in CAPCACHE_SWEEP],
+                         cap_rows,
+                         title="Ablation: capability-cache size "
+                               "(miss rate)"),
+            render_table(["benchmark", "with victim", "without"],
+                         victim_rows,
+                         title="Ablation: 32-entry alias victim cache "
+                               "(alias miss rate)"),
+            render_table(["benchmark"] + [str(s) for s in PREDICTOR_SWEEP],
+                         pred_rows,
+                         title="Ablation: predictor size "
+                               "(misprediction rate)"),
+            render_table(["benchmark", "alias walks filtered"],
+                         tlb_rows,
+                         title="Ablation: TLB alias-hosting bit"),
+        ])
+
+
+def run(scale: int = 1,
+        benchmarks: Sequence[str] = ("perlbench", "mcf", "xalancbmk"),
+        config: CoreConfig = DEFAULT_CONFIG,
+        max_instructions: int = 800_000) -> AblationResult:
+    context: Dict[str, Dict[str, float]] = {}
+    capcache: Dict[str, Dict[int, float]] = {}
+    victim: Dict[str, Dict[str, float]] = {}
+    predictor: Dict[str, Dict[int, float]] = {}
+    tlb: Dict[str, int] = {}
+
+    for name in benchmarks:
+        full = _run(name, scale, config, max_instructions)
+        surgical = _run(name, scale, config, max_instructions,
+                        critical_ranges=[(0, 1)])
+        context[name] = {
+            "full_checks": full.mcu.stats.capchecks,
+            "surgical_checks": surgical.mcu.stats.capchecks,
+            "uops_saved": full.total_uops - surgical.total_uops,
+            "allocs_tracked_equal": float(
+                full.captable.stats.generated
+                == surgical.captable.stats.generated),
+        }
+
+        capcache[name] = {}
+        for size in CAPCACHE_SWEEP:
+            machine = _run(name, scale,
+                           config.with_(capcache_entries=size),
+                           max_instructions)
+            capcache[name][size] = machine.capcache.stats.miss_rate
+
+        with_victim = full.alias_cache.stats.miss_rate
+        no_victim = _run(name, scale,
+                         config.with_(alias_victim_entries=0),
+                         max_instructions).alias_cache.stats.miss_rate
+        victim[name] = {"with": with_victim, "without": no_victim}
+
+        predictor[name] = {}
+        for size in PREDICTOR_SWEEP:
+            machine = _run(name, scale,
+                           config.with_(predictor_entries=size),
+                           max_instructions)
+            stats = machine.reload_predictor.stats
+            predictor[name][size] = stats.misprediction_rate
+
+        tlb[name] = full.tlb.stats.alias_walks_filtered
+
+    return AblationResult(context=context, capcache_sweep=capcache,
+                          victim=victim, predictor_sweep=predictor,
+                          tlb_filter=tlb)

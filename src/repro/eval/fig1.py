@@ -1,0 +1,40 @@
+"""Figure 1: root cause of CVEs by patch year (2006-2018)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.cve import (
+    CATEGORIES,
+    YearBreakdown,
+    all_years,
+    average_memory_safety_share,
+)
+from ..analysis.report import render_table
+
+
+@dataclass
+class Figure1Result:
+    years: List[YearBreakdown]
+    average_memory_safety: float
+
+    def format_text(self) -> str:
+        rows = []
+        for year in self.years:
+            rows.append([year.year]
+                        + [f"{year.shares[c]:.0f}%" for c in CATEGORIES]
+                        + [f"{year.memory_safety_share:.0f}%"])
+        table = render_table(
+            ["year"] + list(CATEGORIES) + ["memory safety"], rows,
+            title="Figure 1: Root cause of CVEs by patch year")
+        return (f"{table}\n\nAverage memory-safety share: "
+                f"{self.average_memory_safety:.0f}% "
+                f"(paper: ~70%)")
+
+
+def run() -> Figure1Result:
+    return Figure1Result(
+        years=all_years(),
+        average_memory_safety=average_memory_safety_share(),
+    )

@@ -1,0 +1,136 @@
+"""Figure 6: performance and micro-op expansion across design points.
+
+Top: execution time of the four CHEx86 variants and AddressSanitizer,
+normalized to the insecure baseline (1.0 = no slowdown).
+Bottom: dynamic micro-op expansion normalized to the baseline.
+
+Headline claims this driver reproduces in shape:
+
+* prediction-driven microcode beats always-on and binary translation;
+* it trails hardware-only slightly overall but wins on the memory-bound
+  pointer-heavy benchmarks (leela, mcf, xalancbmk);
+* CHEx86 lands within ~10-20% of the insecure baseline while ASan costs
+  integer factors (paper: 59% faster than ASan on SPEC, 2.2x on PARSEC);
+* CHEx86's uop expansion is small (~10-30%) while ASan's exceeds 2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..analysis.report import render_table
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..workloads import BENCHMARK_ORDER, build
+from .common import FIG6_LABELS, BenchmarkRun, run_benchmark
+
+
+@dataclass
+class Figure6Result:
+    """All cells of Figure 6."""
+
+    runs: Dict[str, Dict[str, BenchmarkRun]]  # benchmark -> defense -> run
+
+    def normalized_performance(self) -> Dict[str, Dict[str, float]]:
+        """Top panel rows: baseline_time / variant_time per benchmark."""
+        out: Dict[str, Dict[str, float]] = {}
+        for benchmark, cells in self.runs.items():
+            baseline = cells["insecure"]
+            out[benchmark] = {
+                label: run.normalized_performance(baseline)
+                for label, run in cells.items()
+            }
+        return out
+
+    def uop_expansion(self) -> Dict[str, Dict[str, float]]:
+        """Bottom panel rows: dynamic uops / baseline uops."""
+        out: Dict[str, Dict[str, float]] = {}
+        for benchmark, cells in self.runs.items():
+            baseline = cells["insecure"]
+            out[benchmark] = {
+                label: run.uop_expansion_vs(baseline)
+                for label, run in cells.items()
+                if label != "insecure"
+            }
+        return out
+
+    # -- suite aggregates (the paper's headline numbers) ---------------------
+
+    def mean_slowdown(self, defense: str, suite: Optional[str] = None
+                      ) -> float:
+        """Geometric-mean slowdown (variant_time / baseline_time) - 1."""
+        ratios = []
+        for cells in self.runs.values():
+            run = cells[defense]
+            if suite is not None and run.suite != suite:
+                continue
+            ratios.append(run.cycles / cells["insecure"].cycles)
+        if not ratios:
+            return 0.0
+        product = 1.0
+        for ratio in ratios:
+            product *= ratio
+        return product ** (1.0 / len(ratios)) - 1.0
+
+    def speedup_over_asan(self, suite: Optional[str] = None) -> float:
+        """How much faster prediction-driven CHEx86 runs than ASan."""
+        ratios = []
+        for cells in self.runs.values():
+            if suite is not None and cells["asan"].suite != suite:
+                continue
+            ratios.append(cells["asan"].cycles
+                          / cells["ucode-prediction"].cycles)
+        if not ratios:
+            return 1.0
+        product = 1.0
+        for ratio in ratios:
+            product *= ratio
+        return product ** (1.0 / len(ratios))
+
+    def format_text(self) -> str:
+        perf = self.normalized_performance()
+        labels = [label for label, _ in FIG6_LABELS]
+        perf_rows = [
+            [bench] + [f"{perf[bench][label]:.2f}" for label in labels]
+            for bench in perf
+        ]
+        expansion = self.uop_expansion()
+        exp_labels = [label for label, _ in FIG6_LABELS if label != "insecure"]
+        exp_rows = [
+            [bench] + [f"{expansion[bench][label]:.2f}"
+                       for label in exp_labels]
+            for bench in expansion
+        ]
+        summary = [
+            f"CHEx86 (prediction) slowdown vs insecure: "
+            f"SPEC {self.mean_slowdown('ucode-prediction', 'SPEC'):.1%}, "
+            f"PARSEC {self.mean_slowdown('ucode-prediction', 'PARSEC'):.1%}",
+            f"Speedup over ASan: "
+            f"SPEC {self.speedup_over_asan('SPEC'):.2f}x, "
+            f"PARSEC {self.speedup_over_asan('PARSEC'):.2f}x",
+        ]
+        return "\n\n".join([
+            render_table(["benchmark"] + labels, perf_rows,
+                         title="Figure 6 (top): normalized performance "
+                               "(1.0 = insecure baseline)"),
+            render_table(["benchmark"] + exp_labels, exp_rows,
+                         title="Figure 6 (bottom): normalized uop expansion"),
+            "\n".join(summary),
+        ])
+
+
+def run(scale: int = 1,
+        benchmarks: Sequence[str] = BENCHMARK_ORDER,
+        config: CoreConfig = DEFAULT_CONFIG,
+        defenses=FIG6_LABELS,
+        max_instructions: int = 2_000_000) -> Figure6Result:
+    """Execute the full Figure 6 grid."""
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for name in benchmarks:
+        workload = build(name, scale)
+        cells: Dict[str, BenchmarkRun] = {}
+        for label, defense in defenses:
+            cells[label] = run_benchmark(workload, defense, config,
+                                         max_instructions)
+        runs[name] = cells
+    return Figure6Result(runs=runs)

@@ -1,0 +1,125 @@
+"""One-shot reproduction runner: every artifact, saved to disk.
+
+``python -m repro reproduce --out results/`` regenerates every table and
+figure, writing for each a text rendering (``<name>.txt``) plus a combined
+``summary.json`` of the headline metrics — the artifact bundle a paper
+reproduction hands to reviewers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import fig1, fig3, fig6, fig7, fig8, fig9, security
+from . import table1, table2, table3, table4
+
+
+@dataclass
+class ArtifactRecord:
+    name: str
+    seconds: float
+    headline: Dict[str, object]
+
+
+def _artifacts(scale: int, ripe_limit: Optional[int]
+               ) -> List[Tuple[str, Callable]]:
+    return [
+        ("fig1", lambda: fig1.run()),
+        ("table3", lambda: table3.run()),
+        ("fig3", lambda: fig3.run(scale=scale)),
+        ("table1", lambda: table1.run(scale=scale)),
+        ("table2", lambda: table2.run(scale=scale)),
+        ("fig6", lambda: fig6.run(scale=scale)),
+        ("fig7", lambda: fig7.run(scale=scale)),
+        ("fig8", lambda: fig8.run(scale=scale)),
+        ("fig9", lambda: fig9.run(scale=scale)),
+        ("table4", lambda: table4.run(scale=scale)),
+        ("security", lambda: security.run(ripe_limit=ripe_limit)),
+    ]
+
+
+def _headline(name: str, result) -> Dict[str, object]:
+    """Pull each artifact's headline numbers for summary.json."""
+    if name == "fig1":
+        return {"avg_memory_safety_pct":
+                round(result.average_memory_safety, 1)}
+    if name == "fig3":
+        return {"avg_in_use_per_interval": round(result.average_in_use(), 1),
+                "gaps_hold": result.gaps_hold()}
+    if name == "fig6":
+        return {
+            "spec_slowdown_pct": round(
+                100 * result.mean_slowdown("ucode-prediction", "SPEC"), 1),
+            "parsec_slowdown_pct": round(
+                100 * result.mean_slowdown("ucode-prediction", "PARSEC"), 1),
+            "speedup_over_asan_spec": round(
+                result.speedup_over_asan("SPEC"), 2),
+            "speedup_over_asan_parsec": round(
+                result.speedup_over_asan("PARSEC"), 2),
+        }
+    if name == "fig7":
+        return {
+            "capcache64_miss_pct": round(
+                100 * result.average_capcache_miss(64), 2),
+            "aliascache256_miss_pct": round(
+                100 * result.average_aliascache_miss(256), 2),
+        }
+    if name == "fig8":
+        return {
+            "predictor_accuracy_pct": round(
+                100 * result.average_accuracy(1024), 1),
+            "squash_increase_pct": round(
+                100 * result.average_squash_increase(), 2),
+        }
+    if name == "fig9":
+        return {
+            "chex86_storage_le_asan": result.chex86_no_worse_than_asan(),
+            "median_bandwidth_increase_pct": round(
+                100 * result.median_bandwidth_increase(), 1),
+        }
+    if name == "table1":
+        return {"converged": result.converged,
+                "rules_learned": result.rules_learned}
+    if name == "table2":
+        return {"predictable_fraction": round(
+            result.predictable_fraction(), 3)}
+    if name == "table4":
+        return {"measured_avg_pct": round(result.measured_average_pct, 1),
+                "measured_worst_pct": round(result.measured_worst_pct, 1)}
+    if name == "security":
+        return {
+            suite: f"{r.detected}/{r.total}"
+            for suite, r in result.chex86.items()
+        } | {"all_flagged": result.all_flagged()}
+    return {}
+
+
+def reproduce(out_dir: str = "results", scale: int = 1,
+              ripe_limit: Optional[int] = None,
+              echo: Callable[[str], None] = print) -> List[ArtifactRecord]:
+    """Run everything; returns per-artifact records (also saved to disk)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    records: List[ArtifactRecord] = []
+    for name, runner in _artifacts(scale, ripe_limit):
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        text = result.format_text()
+        (out / f"{name}.txt").write_text(text + "\n")
+        record = ArtifactRecord(name=name, seconds=round(elapsed, 1),
+                                headline=_headline(name, result))
+        records.append(record)
+        echo(f"[{elapsed:6.1f}s] {name}: {record.headline}")
+    summary = {
+        "scale": scale,
+        "artifacts": {r.name: {"seconds": r.seconds, **r.headline}
+                      for r in records},
+    }
+    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    echo(f"wrote {len(records)} artifacts + summary.json to {out}/")
+    return records

@@ -1,0 +1,84 @@
+"""Table II: temporal pointer access patterns.
+
+Traces every pointer-reload PC across the benchmark suite, classifies its
+PID sequence with the Table II taxonomy, and reports the per-benchmark
+histogram.  Reproduces the paper's qualitative findings: patterns are
+dominated by the predictable classes, sjeng/lbm are Constant-dominated,
+and perlbench exhibits the most "Batch + Stride" sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
+from ..analysis.report import render_table
+from ..core.machine import Chex86Machine
+from ..core.variants import Variant
+from ..isa.assembler import assemble
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..workloads import SPEC_NAMES, build
+
+#: Patterns the stride predictor captures well.
+PREDICTABLE = {
+    Pattern.CONSTANT, Pattern.STRIDE, Pattern.BATCH_STRIDE,
+    Pattern.REPEAT_STRIDE, Pattern.RANDOM_STRIDE,
+}
+
+
+@dataclass
+class Table2Result:
+    profiles: Dict[str, PatternProfile]
+
+    def histogram_rows(self) -> List[List]:
+        patterns = list(Pattern)
+        rows = []
+        for bench, profile in self.profiles.items():
+            rows.append([bench] + [profile.histogram.get(p, 0)
+                                   for p in patterns])
+        return rows
+
+    def predictable_fraction(self) -> float:
+        """Fraction of classified reload sites in predictable classes."""
+        total = predictable = 0
+        for profile in self.profiles.values():
+            for pattern, count in profile.histogram.items():
+                total += count
+                if pattern in PREDICTABLE:
+                    predictable += count
+        return predictable / total if total else 1.0
+
+    def benchmark_with_most(self, pattern: Pattern) -> str:
+        best, best_count = "", -1
+        for bench, profile in self.profiles.items():
+            count = profile.histogram.get(pattern, 0)
+            if count > best_count:
+                best, best_count = bench, count
+        return best
+
+    def format_text(self) -> str:
+        headers = ["benchmark"] + [p.value for p in Pattern]
+        table = render_table(headers, self.histogram_rows(),
+                             title="Table II: temporal pointer access "
+                                   "patterns (reload sites per class)")
+        return (f"{table}\n\nPredictable-pattern fraction: "
+                f"{self.predictable_fraction():.1%}; most Batch+Stride "
+                f"sites: {self.benchmark_with_most(Pattern.BATCH_STRIDE)} "
+                f"(paper: perlbench)")
+
+
+def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
+        config: CoreConfig = DEFAULT_CONFIG,
+        max_instructions: int = 600_000,
+        min_events: int = 6) -> Table2Result:
+    profiles: Dict[str, PatternProfile] = {}
+    for name in benchmarks:
+        workload = build(name, scale)
+        machine = Chex86Machine(assemble(workload.source, name=name),
+                                variant=Variant.UCODE_PREDICTION,
+                                config=config, halt_on_violation=False)
+        machine.trace_reloads = True
+        machine.run(max_instructions=max_instructions)
+        profiles[name] = profile_patterns(machine.reload_trace, min_events)
+    return Table2Result(profiles=profiles)

@@ -1,0 +1,25 @@
+"""Table III: hardware configuration of the simulated system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.report import render_table
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+
+
+@dataclass
+class Table3Result:
+    rows: Dict[str, str]
+
+    def format_text(self) -> str:
+        return render_table(
+            ["parameter", "value"],
+            [[k, v] for k, v in self.rows.items()],
+            title="Table III: hardware configuration of the simulated "
+                  "system (baseline processor)")
+
+
+def run(config: CoreConfig = DEFAULT_CONFIG) -> Table3Result:
+    return Table3Result(rows=config.table3_rows())

@@ -1,0 +1,69 @@
+"""Table IV: comparison with prior memory-safety techniques.
+
+Static prior-work rows plus a CHEx86 row *measured on this reproduction*:
+average and worst-case slowdown of the prediction-driven variant over the
+synthetic SPEC suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.comparison import (
+    TechniqueRow,
+    full_table,
+    measured_chex86_row,
+    qualitative_claims,
+)
+from ..analysis.report import render_table
+from ..core.variants import Variant
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..workloads import SPEC_NAMES, build
+from .common import run_benchmark
+
+
+@dataclass
+class Table4Result:
+    rows: List[TechniqueRow]
+    measured_average_pct: float
+    measured_worst_pct: float
+
+    def claims(self):
+        return qualitative_claims()
+
+    def format_text(self) -> str:
+        table_rows = [
+            [r.proposal, r.temporal_safety, r.spatial_safety, r.metadata,
+             r.binary_compat, r.perf_average, r.perf_benchmark, r.hardware]
+            for r in self.rows
+        ]
+        table = render_table(
+            ["proposal", "temporal", "spatial", "metadata", "binary compat",
+             "perf (avg)", "perf (worst)", "hardware modifications"],
+            table_rows,
+            title="Table IV: comparison with prior memory safety techniques")
+        claims = "\n".join(f"  {name}: {'holds' if ok else 'VIOLATED'}"
+                           for name, ok in self.claims().items())
+        return f"{table}\n\nQualitative claims:\n{claims}"
+
+
+def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
+        config: CoreConfig = DEFAULT_CONFIG,
+        max_instructions: int = 2_000_000) -> Table4Result:
+    slowdowns = []
+    for name in benchmarks:
+        workload = build(name, scale)
+        baseline = run_benchmark(workload, Variant.INSECURE, config,
+                                 max_instructions)
+        chex = run_benchmark(workload, Variant.UCODE_PREDICTION, config,
+                             max_instructions)
+        slowdowns.append(chex.cycles / baseline.cycles - 1.0)
+    average = 100 * sum(slowdowns) / len(slowdowns)
+    worst = 100 * max(slowdowns)
+    measured = measured_chex86_row(average, worst)
+    return Table4Result(
+        rows=full_table(measured),
+        measured_average_pct=average,
+        measured_worst_pct=worst,
+    )

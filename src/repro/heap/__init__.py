@@ -1,0 +1,35 @@
+"""Heap substrate: the exploitable allocator and the registered library."""
+
+from .allocator import (
+    ALIGN,
+    HEADER_BYTES,
+    HOSTOP_UOP_COST,
+    INUSE_BIT,
+    AllocationRecord,
+    HeapAllocator,
+    HeapStats,
+)
+from .library import (
+    HEAP_FUNCTIONS,
+    HeapFnKind,
+    RegisteredFunction,
+    heap_library_asm,
+    host_dispatch_table,
+    registrations_for,
+)
+
+__all__ = [
+    "ALIGN",
+    "AllocationRecord",
+    "HEADER_BYTES",
+    "HEAP_FUNCTIONS",
+    "HOSTOP_UOP_COST",
+    "HeapAllocator",
+    "HeapFnKind",
+    "HeapStats",
+    "INUSE_BIT",
+    "RegisteredFunction",
+    "heap_library_asm",
+    "host_dispatch_table",
+    "registrations_for",
+]

@@ -1,0 +1,122 @@
+"""The heap-management *library*: assembly stubs plus MSR registration info.
+
+CHEx86 intercepts the **entry and exit instruction addresses** of registered
+heap-management functions (Section IV-C, *Initial Configuration*): the OS
+kernel programs model-specific registers with those addresses and the
+functions' signatures (which argument registers carry the size / the pointer
+being freed).  This module provides:
+
+* the assembly text of the library routines (each is an entry label, a
+  ``hostop`` that runs the allocator on the simulated heap, and a ``ret``
+  whose address is the registered exit point);
+* :class:`RegisteredFunction` descriptors — what the MSRs hold;
+* :func:`registrations_for` to derive the MSR contents from an assembled
+  program's label addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..isa.instructions import INSTR_SLOT
+from ..isa.program import Program
+from ..isa.registers import Reg
+
+
+class HeapFnKind(enum.Enum):
+    """What capability action a registered function implies."""
+
+    ALLOC = "alloc"      # malloc, calloc
+    FREE = "free"        # free
+    REALLOC = "realloc"  # frees the old capability, generates a new one
+
+
+@dataclass(frozen=True)
+class RegisteredFunction:
+    """One MSR-registered heap function: addresses plus signature."""
+
+    name: str
+    kind: HeapFnKind
+    entry: int
+    exit: int
+    #: Registers whose product is the requested size (malloc: (rdi,);
+    #: calloc: (rdi, rsi); realloc: (rsi,)).  Empty for free.
+    size_regs: Tuple[Reg, ...]
+    #: Register carrying the pointer being freed (free/realloc), else None.
+    ptr_reg: Reg = None
+
+
+#: (label, hostop name, kind, size regs, ptr reg) for the standard library.
+_LIBRARY_SPEC = (
+    ("malloc", "heap_malloc", HeapFnKind.ALLOC, (Reg.RDI,), None),
+    ("calloc", "heap_calloc", HeapFnKind.ALLOC, (Reg.RDI, Reg.RSI), None),
+    ("realloc", "heap_realloc", HeapFnKind.REALLOC, (Reg.RSI,), Reg.RDI),
+    ("free", "heap_free", HeapFnKind.FREE, (), Reg.RDI),
+)
+
+#: Names of the library's entry labels.
+HEAP_FUNCTIONS = tuple(spec[0] for spec in _LIBRARY_SPEC)
+
+
+def heap_library_asm() -> str:
+    """Assembly text of the heap library, appended to every program."""
+    lines: List[str] = []
+    for label, host_name, _, _, _ in _LIBRARY_SPEC:
+        lines.append(f"{label}:")
+        lines.append(f"    hostop {host_name}")
+        lines.append("    ret")
+    return "\n".join(lines) + "\n"
+
+
+def registrations_for(program: Program) -> List[RegisteredFunction]:
+    """Derive the MSR registration set from a program's label addresses.
+
+    Only functions the program actually links (labels present) register —
+    the paper notes a model-specific limit on entry/exit registrations per
+    process; four is comfortably within it.
+    """
+    registrations: List[RegisteredFunction] = []
+    for label, _, kind, size_regs, ptr_reg in _LIBRARY_SPEC:
+        entry = program.labels.get(label)
+        if entry is None:
+            continue
+        # Stub shape is `hostop ; ret`: the exit point is the ret slot.
+        exit_addr = entry + INSTR_SLOT
+        registrations.append(
+            RegisteredFunction(
+                name=label, kind=kind, entry=entry, exit=exit_addr,
+                size_regs=tuple(size_regs), ptr_reg=ptr_reg,
+            )
+        )
+    return registrations
+
+
+def host_dispatch_table(allocator) -> Dict[str, "callable"]:
+    """Map hostop names to allocator calls following the ABI.
+
+    Each host routine reads its arguments from and writes its result to the
+    machine's architectural registers — the same registers the MCU's
+    ``capGen``/``capFree`` micro-ops snoop.
+    """
+
+    def heap_malloc(regs: List[int]) -> None:
+        regs[Reg.RAX] = allocator.malloc(regs[Reg.RDI])
+
+    def heap_calloc(regs: List[int]) -> None:
+        regs[Reg.RAX] = allocator.calloc(regs[Reg.RDI], regs[Reg.RSI])
+
+    def heap_realloc(regs: List[int]) -> None:
+        regs[Reg.RAX] = allocator.realloc(regs[Reg.RDI], regs[Reg.RSI])
+
+    def heap_free(regs: List[int]) -> None:
+        allocator.free(regs[Reg.RDI])
+        regs[Reg.RAX] = 0
+
+    return {
+        "heap_malloc": heap_malloc,
+        "heap_calloc": heap_calloc,
+        "heap_realloc": heap_realloc,
+        "heap_free": heap_free,
+    }

@@ -1,0 +1,67 @@
+"""Mini-x86 ISA substrate: registers, instructions, programs, assembler."""
+
+from .assembler import AssemblyError, assemble
+from .instructions import (
+    BINARY_ALU,
+    COND_BRANCHES,
+    CONTROL_FLOW,
+    INSTR_SLOT,
+    UNARY_ALU,
+    Instr,
+    Op,
+)
+from .operands import Imm, LabelRef, Mem, Operand
+from .program import (
+    DATA_BASE,
+    HEAP_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    GlobalObject,
+    Program,
+    find_mem_refs,
+)
+from .registers import (
+    ARG_REGS,
+    MASK64,
+    NUM_REGS,
+    RET_REG,
+    Flag,
+    Reg,
+    compute_flags,
+    parse_reg,
+    to_s64,
+    to_u64,
+)
+
+__all__ = [
+    "ARG_REGS",
+    "AssemblyError",
+    "BINARY_ALU",
+    "COND_BRANCHES",
+    "CONTROL_FLOW",
+    "DATA_BASE",
+    "Flag",
+    "GlobalObject",
+    "HEAP_BASE",
+    "INSTR_SLOT",
+    "Imm",
+    "Instr",
+    "LabelRef",
+    "MASK64",
+    "Mem",
+    "NUM_REGS",
+    "Op",
+    "Operand",
+    "Program",
+    "RET_REG",
+    "Reg",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "UNARY_ALU",
+    "assemble",
+    "compute_flags",
+    "find_mem_refs",
+    "parse_reg",
+    "to_s64",
+    "to_u64",
+]

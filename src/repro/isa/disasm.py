@@ -1,0 +1,115 @@
+"""Disassembly and program listing utilities.
+
+Round-trips programs back into the assembler's text dialect — useful for
+inspecting generated workloads/exploits, debugging the instrumentation
+passes, and producing annotated listings with per-instruction micro-op
+expansions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..microop.decoder import Decoder
+from .instructions import Instr
+from .operands import Imm, LabelRef, Mem
+from .program import Program
+from .registers import Reg
+
+
+def format_operand(operand, labels_by_address=None) -> str:
+    """Render one operand in the assembler's input dialect."""
+    if isinstance(operand, Reg):
+        return operand.name.lower()
+    if isinstance(operand, Imm):
+        if labels_by_address and operand.value in labels_by_address:
+            return labels_by_address[operand.value]
+        if abs(operand.value) >= 4096:
+            return hex(operand.value)
+        return str(operand.value)
+    if isinstance(operand, LabelRef):
+        return operand.name
+    if isinstance(operand, Mem):
+        parts: List[str] = []
+        if operand.base is not None:
+            parts.append(operand.base.name.lower())
+        if operand.index is not None:
+            parts.append(f"{operand.index.name.lower()}*{operand.scale}")
+        if operand.disp_symbol is not None:
+            parts.append(operand.disp_symbol)
+        inner = " + ".join(parts)
+        if operand.disp or not inner:
+            if inner:
+                sign = "+" if operand.disp >= 0 else "-"
+                inner = f"{inner} {sign} {abs(operand.disp)}"
+            else:
+                inner = hex(operand.disp)
+        return f"[{inner}]"
+    raise TypeError(f"cannot format operand {operand!r}")
+
+
+def format_instr(instr: Instr, labels_by_address=None) -> str:
+    """Render one instruction (without its label) in input dialect."""
+    if not instr.operands:
+        return instr.op.value
+    rendered = ", ".join(format_operand(op, labels_by_address)
+                         for op in instr.operands)
+    return f"{instr.op.value} {rendered}"
+
+
+def disassemble(program: Program, resolve_labels: bool = True,
+                with_uops: bool = False) -> str:
+    """A listing of ``program``: addresses, labels, instructions.
+
+    ``resolve_labels`` renders jump/call targets symbolically again;
+    ``with_uops`` appends each instruction's micro-op expansion as a
+    comment (what the 1:1 / 1:4 / MSROM decoders would emit).
+    """
+    labels_by_address = {addr: name for name, addr in program.labels.items()}
+    decoder = Decoder() if with_uops else None
+    lines: List[str] = []
+    for obj in program.globals:
+        if obj.pool_for is not None:
+            continue  # pool slots are loader-generated, not source
+        directive = ".global" if obj.in_symbol_table else ".hidden"
+        init = "".join(f", {v}" for v in obj.init_words)
+        lines.append(f"{directive} {obj.name}, {obj.size}{init}")
+    for index in range(len(program)):
+        address = program.address_of(index)
+        instr = program.fetch(address)
+        label = labels_by_address.get(address)
+        if label is not None and program.labels.get(label) == address \
+                and program.instrs[index].label == label:
+            lines.append(f"{label}:")
+        text = format_instr(
+            instr, labels_by_address if resolve_labels else None)
+        line = f"    {address:#x}:  {text}"
+        if decoder is not None:
+            uops, path = decoder.decode(instr, address, index,
+                                        id(program))
+            expansion = " | ".join(str(u) for u in uops)
+            line += f"    ; [{path.value}] {expansion}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def reassemblable_source(program: Program) -> str:
+    """Source text that re-assembles to an equivalent program.
+
+    Labels are re-derived from instruction metadata; resolved numeric
+    targets are re-symbolized where a label exists at that address.
+    """
+    labels_by_address = {addr: name for name, addr in program.labels.items()}
+    lines: List[str] = []
+    for obj in program.globals:
+        if obj.pool_for is not None:
+            continue
+        directive = ".global" if obj.in_symbol_table else ".hidden"
+        init = "".join(f", {v}" for v in obj.init_words)
+        lines.append(f"{directive} {obj.name}, {obj.size}{init}")
+    for index, instr in enumerate(program.instrs):
+        if instr.label is not None:
+            lines.append(f"{instr.label}:")
+        resolved = program.fetch(program.address_of(index))
+        lines.append("    " + format_instr(resolved, labels_by_address))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,106 @@
+"""Architectural register file of the mini-x86 machine.
+
+CHEx86 operates on x86-64 binaries; this module defines the subset of the
+x86-64 architectural state the simulator models: the sixteen 64-bit general
+purpose registers, the instruction pointer, and the condition flags that the
+conditional-branch instructions consume.
+
+The speculative pointer tracker (``repro.core.tracker``) tags each of these
+architectural registers with a PID, so the register identity used here is
+shared across the whole code base.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """The sixteen x86-64 general purpose registers.
+
+    The integer values are stable indices into register files and PID tag
+    arrays; do not reorder.
+    """
+
+    RAX = 0
+    RBX = 1
+    RCX = 2
+    RDX = 3
+    RSI = 4
+    RDI = 5
+    RBP = 6
+    RSP = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    R13 = 13
+    R14 = 14
+    R15 = 15
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%" + self.name.lower()
+
+
+#: Number of general purpose registers (size of PID tag arrays and the like).
+NUM_REGS = len(Reg)
+
+#: x86-64 System V calling convention: integer argument registers in order.
+ARG_REGS = (Reg.RDI, Reg.RSI, Reg.RDX, Reg.RCX, Reg.R8, Reg.R9)
+
+#: x86-64 System V calling convention: return value register.
+RET_REG = Reg.RAX
+
+_BY_NAME = {r.name.lower(): r for r in Reg}
+
+
+def parse_reg(name: str) -> Reg:
+    """Parse a register name such as ``rax`` or ``%rax`` into a :class:`Reg`.
+
+    Raises :class:`ValueError` for unknown names.
+    """
+    text = name.strip().lstrip("%").lower()
+    try:
+        return _BY_NAME[text]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+class Flag(enum.IntFlag):
+    """Condition flags produced by arithmetic/compare instructions."""
+
+    ZF = 1  # zero
+    SF = 2  # sign
+    CF = 4  # carry (unsigned below)
+    OF = 8  # overflow
+
+
+MASK64 = (1 << 64) - 1
+
+
+def to_u64(value: int) -> int:
+    """Truncate a Python integer to an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def to_s64(value: int) -> int:
+    """Interpret a 64-bit pattern as a signed integer."""
+    value &= MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def compute_flags(result: int, carry: bool = False, overflow: bool = False) -> Flag:
+    """Derive the flag set for a 64-bit ``result`` of an ALU operation."""
+    flags = Flag(0)
+    if to_u64(result) == 0:
+        flags |= Flag.ZF
+    if to_u64(result) >> 63:
+        flags |= Flag.SF
+    if carry:
+        flags |= Flag.CF
+    if overflow:
+        flags |= Flag.OF
+    return flags

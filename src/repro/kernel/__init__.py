@@ -1,0 +1,26 @@
+"""OS-side substrate: MSR interface and process loader (Section IV-C)."""
+
+from .loader import Process, ProcessLoader
+from .msr import (
+    MAX_REGISTRATIONS,
+    MSR_CHEX86_CTL,
+    MSR_CHEX86_FN_BASE,
+    MSR_CHEX86_FN_COUNT,
+    MSR_CHEX86_MAX_ALLOC,
+    MsrError,
+    MsrFile,
+    MsrSnapshot,
+)
+
+__all__ = [
+    "MAX_REGISTRATIONS",
+    "MSR_CHEX86_CTL",
+    "MSR_CHEX86_FN_BASE",
+    "MSR_CHEX86_FN_COUNT",
+    "MSR_CHEX86_MAX_ALLOC",
+    "MsrError",
+    "MsrFile",
+    "MsrSnapshot",
+    "Process",
+    "ProcessLoader",
+]

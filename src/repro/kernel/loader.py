@@ -1,0 +1,140 @@
+"""The OS loader: process creation exactly as Section IV-C describes.
+
+"At the time of scheduling a process on a CHEx86 core, the OS kernel or
+other trusted entities may configure a set of model-specific registers
+(MSRs) to register the instruction address of the entry and exit points of
+key heap management functions ... Furthermore, at the time of process
+creation and program loading, the OS kernel may also load the symbol table
+into memory, if available, and further instruct CHEx86 (again, using a
+privileged wrmsr instruction) to initialize the shadow capability table by
+generating a capability for each global data object found in the symbol
+table."
+
+:class:`ProcessLoader` performs that sequence against an :class:`MsrFile`
+and builds the machine from the MSR contents — the machine never sees
+source-level information that didn't flow through the OS interface.  It
+also demonstrates the context-switch path (MSRs saved and restored per
+process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.machine import Chex86Machine
+from ..core.variants import Variant
+from ..heap.library import registrations_for
+from ..isa.program import Program
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from .msr import MsrFile, MsrSnapshot
+
+
+@dataclass
+class Process:
+    """One loaded process: its program plus its saved MSR state."""
+
+    pid: int
+    program: Program
+    msr_state: MsrSnapshot
+    variant: Variant
+
+
+class ProcessLoader:
+    """Creates CHEx86 processes through the privileged MSR interface."""
+
+    def __init__(self, config: CoreConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self.msr = MsrFile()
+        self._next_pid = 1
+        self.processes: Dict[int, Process] = {}
+        self._running: Optional[int] = None
+
+    # -- process creation --------------------------------------------------------
+
+    def create_process(self, program: Program,
+                       variant: Variant = Variant.UCODE_PREDICTION,
+                       max_alloc_bytes: Optional[int] = None) -> Process:
+        """Program the MSRs for ``program`` and record the process.
+
+        Performs the paper's initial-configuration sequence:
+
+        1. register every linked heap-management function's entry/exit
+           addresses and signature (``wrmsr`` per slot);
+        2. configure the maximum allocatable block size;
+        3. enable capability protection;
+        4. snapshot the MSR state for later context switches.
+
+        (Step "initialize shadow capabilities from the symbol table"
+        happens when the machine attaches, since the shadow tables are
+        per-process state the machine owns.)
+
+        The new process's MSR image is prepared in a *staging* register
+        file — creating a process must not disturb whatever is currently
+        running on the core (its state is only saved at the next context
+        switch).
+        """
+        staging = MsrFile()
+        for registration in registrations_for(program):
+            staging.register_function(registration)
+        staging.set_max_alloc_bytes(
+            max_alloc_bytes if max_alloc_bytes is not None
+            else self.config.max_alloc_bytes)
+        if variant is not Variant.INSECURE:
+            staging.enable_protection()
+        process = Process(
+            pid=self._next_pid,
+            program=program,
+            msr_state=staging.save(),
+            variant=variant,
+        )
+        self._next_pid += 1
+        self.processes[process.pid] = process
+        return process
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def context_switch(self, pid: int) -> Process:
+        """Restore ``pid``'s MSR state onto the core (save/restore demo)."""
+        if self._running is not None:
+            self.processes[self._running].msr_state = self.msr.save()
+        process = self.processes[pid]
+        self.msr.restore(process.msr_state)
+        self._running = pid
+        return process
+
+    def attach_machine(self, process: Process,
+                       static_analysis_objects=(), **machine_kwargs
+                       ) -> Chex86Machine:
+        """Build the core for ``process`` *from the MSR contents*.
+
+        The machine's MCU interception set, heap-spray limit, and variant
+        come from what the kernel programmed — nothing else.
+
+        ``static_analysis_objects`` are extra ``(base, size)`` regions to
+        protect beyond the symbol table — the paper notes the approach "is
+        flexible enough to be configured with metadata derived from more
+        sophisticated static analysis".  Each gets its own capability; a
+        pointer to the region's base can then be tracked like any global.
+        """
+        self.context_switch(process.pid)
+        variant = process.variant
+        if not self.msr.protection_enabled:
+            variant = Variant.INSECURE
+        config = self.config.with_(
+            max_alloc_bytes=self.msr.max_alloc_bytes)
+        machine = Chex86Machine(process.program, variant=variant,
+                                config=config, **machine_kwargs)
+        # Re-point the MCU at the MSR-programmed registration set (the
+        # decoded slots), making the OS interface authoritative.
+        from ..core.mcu import MicrocodeCustomizationUnit
+
+        machine.mcu = MicrocodeCustomizationUnit(
+            self.msr.registered_functions(), machine.traits,
+            machine.mcu.critical_ranges)
+        machine.captable.max_alloc_bytes = self.msr.max_alloc_bytes
+        if machine.traits.intercepts_heap:
+            for index, (base, size) in enumerate(static_analysis_objects):
+                pid = machine.captable.register_global(base, size)
+                machine._global_pids[f"static_analysis_{index}"] = pid
+        return machine

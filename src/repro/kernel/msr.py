@@ -1,0 +1,178 @@
+"""Model-specific registers: the OS-to-CHEx86 configuration interface.
+
+Section IV-C, *Initial Configuration*: "the OS kernel or other trusted
+entities may configure a set of model-specific registers (MSRs) to register
+the instruction address of the entry and exit points of key heap management
+functions ... along with their respective signatures (recorded as a vector
+of architectural register names)."  The same interface carries the
+maximum-allocatable-size limit the heap-spray check enforces and the
+global protection-enable bit.  "These MSRs are saved and restored upon a
+context switch", and there is "a model-specific limit on the number of
+entry/exit points that can be registered per process."
+
+This module models that register file: numbered MSRs with ``wrmsr`` /
+``rdmsr`` access, an encoding for registered heap functions, and
+save/restore snapshots for context switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..heap.library import HeapFnKind, RegisteredFunction
+from ..isa.registers import Reg
+
+#: Model-specific limit on registered entry/exit points per process.
+MAX_REGISTRATIONS = 8
+
+# ---------------------------------------------------------------------------
+# MSR numbering (a vendor-defined range, CHEX86_* in this model).
+# ---------------------------------------------------------------------------
+
+#: Global enable: bit 0 = capability protection on.
+MSR_CHEX86_CTL = 0xC000_0100
+#: Maximum allocatable block size (the capGen.Begin heap-spray limit).
+MSR_CHEX86_MAX_ALLOC = 0xC000_0101
+#: Number of valid function-registration slots.
+MSR_CHEX86_FN_COUNT = 0xC000_0102
+#: Registration slots: each slot is a pair of MSRs
+#: (entry/exit addresses packed, signature descriptor).
+MSR_CHEX86_FN_BASE = 0xC000_0110
+
+_KIND_CODES = {HeapFnKind.ALLOC: 1, HeapFnKind.FREE: 2, HeapFnKind.REALLOC: 3}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class MsrError(Exception):
+    """Privileged-register access the model rejects."""
+
+
+def _encode_signature(registration: RegisteredFunction) -> int:
+    """Pack kind + size-register vector + pointer register into 64 bits.
+
+    Layout: [kind:4][n_size_regs:4][size_reg0:8][size_reg1:8][ptr_reg:8]
+    (register fields hold ``reg + 1`` so 0 means "none").
+    """
+    value = _KIND_CODES[registration.kind]
+    value |= len(registration.size_regs) << 4
+    for i, reg in enumerate(registration.size_regs[:2]):
+        value |= (int(reg) + 1) << (8 + 8 * i)
+    if registration.ptr_reg is not None:
+        value |= (int(registration.ptr_reg) + 1) << 24
+    return value
+
+
+def _decode_signature(name: str, entry: int, exit_: int,
+                      value: int) -> RegisteredFunction:
+    kind = _CODE_KINDS[value & 0xF]
+    n_size = (value >> 4) & 0xF
+    size_regs: List[Reg] = []
+    for i in range(n_size):
+        raw = (value >> (8 + 8 * i)) & 0xFF
+        size_regs.append(Reg(raw - 1))
+    ptr_raw = (value >> 24) & 0xFF
+    ptr_reg = Reg(ptr_raw - 1) if ptr_raw else None
+    return RegisteredFunction(name=name, kind=kind, entry=entry, exit=exit_,
+                              size_regs=tuple(size_regs), ptr_reg=ptr_reg)
+
+
+@dataclass
+class MsrSnapshot:
+    """Per-process MSR state, saved/restored at context switches."""
+
+    values: Dict[int, int]
+    names: Dict[int, str]
+
+
+class MsrFile:
+    """The CHEx86 model-specific register file of one core."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {
+            MSR_CHEX86_CTL: 0,
+            MSR_CHEX86_MAX_ALLOC: 1 << 30,
+            MSR_CHEX86_FN_COUNT: 0,
+        }
+        # Function names ride alongside (debug metadata, not architectural).
+        self._names: Dict[int, str] = {}
+
+    # -- raw privileged access --------------------------------------------------
+
+    def wrmsr(self, number: int, value: int) -> None:
+        """Privileged write (the kernel's ``wrmsr`` instruction)."""
+        if not self._known(number):
+            raise MsrError(f"write to unimplemented MSR {number:#x}")
+        self._values[number] = value & ((1 << 64) - 1)
+
+    def rdmsr(self, number: int) -> int:
+        if not self._known(number):
+            raise MsrError(f"read of unimplemented MSR {number:#x}")
+        return self._values.get(number, 0)
+
+    def _known(self, number: int) -> bool:
+        if number in (MSR_CHEX86_CTL, MSR_CHEX86_MAX_ALLOC,
+                      MSR_CHEX86_FN_COUNT):
+            return True
+        offset = number - MSR_CHEX86_FN_BASE
+        return 0 <= offset < MAX_REGISTRATIONS * 3
+
+    # -- typed helpers the loader uses ---------------------------------------------
+
+    @property
+    def protection_enabled(self) -> bool:
+        return bool(self.rdmsr(MSR_CHEX86_CTL) & 1)
+
+    def enable_protection(self) -> None:
+        self.wrmsr(MSR_CHEX86_CTL, self.rdmsr(MSR_CHEX86_CTL) | 1)
+
+    @property
+    def max_alloc_bytes(self) -> int:
+        return self.rdmsr(MSR_CHEX86_MAX_ALLOC)
+
+    def set_max_alloc_bytes(self, limit: int) -> None:
+        self.wrmsr(MSR_CHEX86_MAX_ALLOC, limit)
+
+    def register_function(self, registration: RegisteredFunction) -> int:
+        """Program one entry/exit registration slot; returns the slot index.
+
+        Raises :class:`MsrError` past the model-specific limit.
+        """
+        slot = self.rdmsr(MSR_CHEX86_FN_COUNT)
+        if slot >= MAX_REGISTRATIONS:
+            raise MsrError(
+                f"model-specific registration limit ({MAX_REGISTRATIONS}) "
+                f"exceeded")
+        base = MSR_CHEX86_FN_BASE + slot * 3
+        self.wrmsr(base, registration.entry)
+        self.wrmsr(base + 1, registration.exit)
+        self.wrmsr(base + 2, _encode_signature(registration))
+        self._names[slot] = registration.name
+        self.wrmsr(MSR_CHEX86_FN_COUNT, slot + 1)
+        return slot
+
+    def registered_functions(self) -> List[RegisteredFunction]:
+        """Decode every programmed slot (what the MCU consumes)."""
+        out: List[RegisteredFunction] = []
+        for slot in range(self.rdmsr(MSR_CHEX86_FN_COUNT)):
+            base = MSR_CHEX86_FN_BASE + slot * 3
+            out.append(_decode_signature(
+                self._names.get(slot, f"fn{slot}"),
+                self.rdmsr(base), self.rdmsr(base + 1),
+                self.rdmsr(base + 2)))
+        return out
+
+    # -- context switching ----------------------------------------------------------
+
+    def save(self) -> MsrSnapshot:
+        """Snapshot for a context switch (per-process MSR state)."""
+        return MsrSnapshot(values=dict(self._values),
+                           names=dict(self._names))
+
+    def restore(self, snapshot: MsrSnapshot) -> None:
+        self._values = dict(snapshot.values)
+        self._names = dict(snapshot.names)
+
+    def clear(self) -> None:
+        """Reset to power-on state (a fresh process with no registrations)."""
+        self.__init__()

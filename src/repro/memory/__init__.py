@@ -1,0 +1,18 @@
+"""Memory substrate: sparse memory, caches, and the TLB."""
+
+from .cache import CacheStats, SetAssocCache
+from .memory import PAGE_SHIFT, PAGE_SIZE, WORD, Memory, MemoryError_, MemoryStats
+from .tlb import Tlb, TlbStats
+
+__all__ = [
+    "CacheStats",
+    "Memory",
+    "MemoryError_",
+    "MemoryStats",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "SetAssocCache",
+    "Tlb",
+    "TlbStats",
+    "WORD",
+]

@@ -1,0 +1,82 @@
+"""TLB model extended with the CHEx86 *alias-hosting* bit.
+
+Section V-C: "we extend the metadata bits in the TLB and the page tables to
+include an alias-hosting bit that indicates if a page contains a spilled
+pointer, to further minimize the number of lookups."  A load whose page has
+the bit clear can skip the shadow alias table walk entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from .cache import SetAssocCache
+from .memory import PAGE_SHIFT
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    alias_walks_filtered: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """Data TLB with per-page alias-hosting bits.
+
+    The page-table side of the alias-hosting bit is the ``_hosting`` set:
+    conceptually part of the in-memory page tables, consulted on TLB refill.
+    """
+
+    def __init__(self, entries: int = 64, ways: int = 4,
+                 hosting: Set[int] = None) -> None:
+        self._cache = SetAssocCache(entries, ways, line_shift=0, name="dtlb")
+        # The page-table side of the alias-hosting bit lives in the (shared)
+        # process page tables; multicore systems pass one shared set so all
+        # cores observe new alias-hosting pages.
+        self._hosting: Set[int] = hosting if hosting is not None else set()
+        self.stats = TlbStats()
+
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns TLB hit?"""
+        page = address >> PAGE_SHIFT
+        hit = self._cache.access(page, page in self._hosting)
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            # Refill picks up the current page-table alias-hosting bit.
+            self._cache.update(page, page in self._hosting)
+        return hit
+
+    def mark_alias_hosting(self, address: int) -> None:
+        """A spilled pointer was stored into this page (set the bit)."""
+        page = address >> PAGE_SHIFT
+        self._hosting.add(page)
+        self._cache.update(page, True)
+
+    def page_hosts_aliases(self, address: int) -> bool:
+        """Consult the alias-hosting bit for a load at ``address``.
+
+        On a TLB hit this is free; a miss would have paid the page walk
+        anyway.  Records a filtered walk when the bit is clear.
+        """
+        page = address >> PAGE_SHIFT
+        cached = self._cache.lookup(page)
+        hosts = (page in self._hosting) if cached is None else bool(cached)
+        if not hosts:
+            self.stats.alias_walks_filtered += 1
+        return hosts
+
+    @property
+    def hosting_pages(self) -> int:
+        return len(self._hosting)

@@ -1,0 +1,20 @@
+"""Out-of-order pipeline substrate: config, branch prediction, timing, system."""
+
+from .branch import BranchStats, FrontEndPredictors, LTagePredictor, ReturnAddressStack
+from .config import DEFAULT_CONFIG, CoreConfig
+from .system import CoherenceStats, System
+from .timing import FuType, TimingModel, TimingStats
+
+__all__ = [
+    "BranchStats",
+    "CoherenceStats",
+    "CoreConfig",
+    "DEFAULT_CONFIG",
+    "FrontEndPredictors",
+    "FuType",
+    "LTagePredictor",
+    "ReturnAddressStack",
+    "System",
+    "TimingModel",
+    "TimingStats",
+]

@@ -1,0 +1,193 @@
+"""Branch prediction: an LTAGE-style predictor, BTB, and return address stack.
+
+Table III specifies an LTAGE predictor with a 4096-entry BTB and a 64-entry
+RAS.  The implementation here is a compact TAGE: a bimodal base table plus
+tagged components with geometric history lengths and the standard
+provider/alternate selection and allocation-on-mispredict policy — enough
+fidelity that squash behaviour (Figure 8 bottom) tracks branch-pattern
+difficulty the way a real front end's would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..memory.cache import SetAssocCache
+
+#: Geometric history lengths of the tagged components.
+_HISTORIES = (4, 8, 16, 32)
+_TAG_BITS = 9
+_TABLE_BITS = 10  # 1024 entries per tagged component
+
+
+@dataclass
+class BranchStats:
+    cond_predictions: int = 0
+    cond_mispredictions: int = 0
+    indirect_predictions: int = 0
+    indirect_mispredictions: int = 0
+    ras_overflows: int = 0
+
+    @property
+    def cond_accuracy(self) -> float:
+        if not self.cond_predictions:
+            return 1.0
+        return 1.0 - self.cond_mispredictions / self.cond_predictions
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.ctr = 0      # signed: >=0 taken
+        self.useful = 0
+
+
+class LTagePredictor:
+    """TAGE-style conditional branch predictor."""
+
+    def __init__(self) -> None:
+        self._bimodal = [0] * 4096  # 2-bit signed counters, >=0 taken
+        self._tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(1 << _TABLE_BITS)]
+            for _ in _HISTORIES
+        ]
+        self._history = 0
+        self.stats = BranchStats()
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        provider, _ = self._find_provider(pc)
+        if provider is not None:
+            _, entry = provider
+            return entry.ctr >= 0
+        return self._bimodal[self._bimodal_index(pc)] >= 0
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the outcome; returns whether the prediction was correct."""
+        prediction = self.predict(pc)
+        correct = prediction == taken
+        self.stats.cond_predictions += 1
+        if not correct:
+            self.stats.cond_mispredictions += 1
+        provider, provider_level = self._find_provider(pc)
+        if provider is not None:
+            _, entry = provider
+            entry.ctr = _nudge(entry.ctr, taken, limit=3)
+            if correct:
+                entry.useful = min(entry.useful + 1, 3)
+        else:
+            index = self._bimodal_index(pc)
+            self._bimodal[index] = _nudge(self._bimodal[index], taken, limit=1)
+        if not correct:
+            self._allocate(pc, taken, provider_level)
+        self._history = ((self._history << 1) | int(taken)) & ((1 << 64) - 1)
+        return correct
+
+    # -- internals -----------------------------------------------------------------
+
+    def _find_provider(self, pc: int) -> Tuple[Optional[Tuple[int, _TaggedEntry]], int]:
+        """Longest-history tagged component hitting on ``pc``."""
+        for level in range(len(_HISTORIES) - 1, -1, -1):
+            index, tag = self._index_tag(pc, level)
+            entry = self._tables[level][index]
+            if entry.tag == tag:
+                return (index, entry), level
+        return None, -1
+
+    def _allocate(self, pc: int, taken: bool, provider_level: int) -> None:
+        """On mispredict, claim an entry in a longer-history component."""
+        for level in range(provider_level + 1, len(_HISTORIES)):
+            index, tag = self._index_tag(pc, level)
+            entry = self._tables[level][index]
+            if entry.useful == 0:
+                entry.tag = tag
+                entry.ctr = 0 if taken else -1
+                entry.useful = 0
+                return
+            entry.useful -= 1
+
+    def _index_tag(self, pc: int, level: int) -> Tuple[int, int]:
+        history = self._history & ((1 << _HISTORIES[level]) - 1)
+        folded = _fold(history, _TABLE_BITS)
+        index = ((pc >> 2) ^ folded) & ((1 << _TABLE_BITS) - 1)
+        tag = ((pc >> 2) ^ _fold(history, _TAG_BITS) ^ (pc >> 12)) & ((1 << _TAG_BITS) - 1)
+        return index, tag
+
+    @staticmethod
+    def _bimodal_index(pc: int) -> int:
+        return (pc >> 2) % 4096
+
+
+def _fold(value: int, bits: int) -> int:
+    folded = 0
+    while value:
+        folded ^= value & ((1 << bits) - 1)
+        value >>= bits
+    return folded
+
+
+def _nudge(counter: int, taken: bool, limit: int) -> int:
+    if taken:
+        return min(counter + 1, limit)
+    return max(counter - 1, -limit - 1)
+
+
+class ReturnAddressStack:
+    """The 64-entry RAS; overflow wraps (oldest entry lost)."""
+
+    def __init__(self, entries: int = 64) -> None:
+        self.entries = entries
+        self._stack: List[int] = []
+        self.overflows = 0
+
+    def push(self, address: int) -> None:
+        if len(self._stack) >= self.entries:
+            del self._stack[0]
+            self.overflows += 1
+        self._stack.append(address)
+
+    def pop(self) -> int:
+        """Predicted return target; 0 when empty (forced mispredict)."""
+        if not self._stack:
+            return 0
+        return self._stack.pop()
+
+
+class FrontEndPredictors:
+    """Bundle: conditional predictor + BTB + RAS, as the fetch stage sees it."""
+
+    def __init__(self, btb_entries: int = 4096, ras_entries: int = 64) -> None:
+        self.cond = LTagePredictor()
+        self.btb = SetAssocCache(btb_entries, 4, line_shift=0, name="btb")
+        self.ras = ReturnAddressStack(ras_entries)
+        self.stats = self.cond.stats
+
+    def predict_conditional(self, pc: int) -> bool:
+        return self.cond.predict(pc)
+
+    def resolve_conditional(self, pc: int, taken: bool) -> bool:
+        """Returns correct?"""
+        return self.cond.update(pc, taken)
+
+    def on_call(self, return_address: int) -> None:
+        self.ras.push(return_address)
+
+    def resolve_indirect(self, pc: int, actual_target: int,
+                         is_return: bool) -> bool:
+        """Predict an indirect jump target; returns correct?"""
+        self.stats.indirect_predictions += 1
+        if is_return:
+            predicted = self.ras.pop()
+        else:
+            cached = self.btb.lookup(pc)
+            predicted = cached if cached is not None else 0
+        self.btb.access(pc, actual_target)
+        self.btb.update(pc, actual_target)
+        if predicted != actual_target:
+            self.stats.indirect_mispredictions += 1
+            return False
+        return True

@@ -1,0 +1,155 @@
+"""Multicore execution of multithreaded (PARSEC-style) workloads.
+
+Threads share the process: one :class:`~repro.pipeline.system.System`
+(memory, heap, capability table, alias table, L2) with one
+:class:`~repro.core.machine.Chex86Machine` per thread, each with private
+L1s/TLB/capability-cache/alias-cache/tracker/predictors and its own stack.
+Execution interleaves in round-robin quanta; capability frees and alias
+stores broadcast invalidations to the other cores (Sections IV-C, V-C),
+whose cost shows up as extra shadow-cache misses on the receiving cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.machine import Chex86Machine, RunResult
+from ..core.rules import RuleDatabase
+from ..core.variants import Variant
+from ..core.violations import ViolationLog
+from ..isa.assembler import assemble
+from ..isa.program import STACK_TOP
+from .config import CoreConfig, DEFAULT_CONFIG
+from .system import System
+
+#: Instructions per round-robin timeslice.
+QUANTUM = 64
+
+#: Virtual-address gap between per-thread stacks.
+STACK_STRIDE = 1 << 24
+
+
+@dataclass
+class MulticoreResult:
+    """Aggregate of a multithreaded run."""
+
+    program: str
+    variant: Variant
+    per_core: List[RunResult]
+    system: System
+
+    @property
+    def halted(self) -> bool:
+        return all(result.halted for result in self.per_core)
+
+    @property
+    def instructions(self) -> int:
+        return sum(result.instructions for result in self.per_core)
+
+    @property
+    def uops(self) -> int:
+        return sum(result.uops for result in self.per_core)
+
+    @property
+    def native_uops(self) -> int:
+        return sum(result.native_uops for result in self.per_core)
+
+    @property
+    def cycles(self) -> int:
+        """Wall-clock of the parallel region: the slowest core."""
+        return max(result.cycles for result in self.per_core)
+
+    @property
+    def uop_expansion(self) -> float:
+        return self.uops / self.native_uops if self.native_uops else 1.0
+
+    @property
+    def violations(self) -> ViolationLog:
+        merged = ViolationLog()
+        for result in self.per_core:
+            for violation in result.violations.violations:
+                merged.record(violation)
+        return merged
+
+    @property
+    def flagged(self) -> bool:
+        return self.violations.flagged
+
+    def normalized_performance(self, baseline_cycles: int) -> float:
+        return baseline_cycles / self.cycles if self.cycles else 0.0
+
+
+class MulticoreMachine:
+    """Round-robin multicore runner over a shared :class:`System`."""
+
+    def __init__(
+        self,
+        workload,
+        variant: Variant = Variant.UCODE_PREDICTION,
+        config: CoreConfig = DEFAULT_CONFIG,
+        rules: Optional[RuleDatabase] = None,
+        halt_on_violation: bool = True,
+        host_hooks: Optional[Dict] = None,
+        program=None,
+        system: Optional[System] = None,
+    ) -> None:
+        """``workload`` is a :class:`~repro.workloads.base.Workload`;
+        pass ``program`` to reuse an already-assembled (possibly
+        instrumented) program, and ``system`` to share pre-built process
+        state (the ASan runtime needs its allocator)."""
+        self.workload = workload
+        self.variant = variant
+        self.system = system if system is not None else System(config)
+        if program is None:
+            program = assemble(workload.source, name=workload.name)
+        self.program = program
+        self.cores: List[Chex86Machine] = []
+        for tid, entry in enumerate(workload.entry_labels):
+            self.cores.append(Chex86Machine(
+                program,
+                variant=variant,
+                config=config,
+                system=self.system,
+                rules=rules,
+                halt_on_violation=halt_on_violation,
+                host_hooks=host_hooks,
+                entry_label=entry,
+                stack_base=STACK_TOP - tid * STACK_STRIDE,
+            ))
+
+    def run(self, max_instructions_per_core: int = 2_000_000
+            ) -> MulticoreResult:
+        """Interleave cores in quanta until all halt or budgets expire."""
+        budgets = [max_instructions_per_core] * len(self.cores)
+        progressing = True
+        while progressing:
+            progressing = False
+            for index, core in enumerate(self.cores):
+                if core.halted or budgets[index] <= 0:
+                    continue
+                executed = core.run_quantum(min(QUANTUM, budgets[index]))
+                budgets[index] -= executed
+                if executed:
+                    progressing = True
+        per_core = []
+        for core in self.cores:
+            stats = core.timing.finish()
+            per_core.append(RunResult(
+                program=self.program.name,
+                variant=self.variant,
+                halted=core.halted,
+                instructions=core.instructions,
+                uops=core.total_uops,
+                native_uops=core.native_uops,
+                injected_uops=core.mcu.stats.injected_uops,
+                cycles=stats.cycles,
+                violations=core.violations,
+                machine=core,
+            ))
+        return MulticoreResult(
+            program=self.program.name,
+            variant=self.variant,
+            per_core=per_core,
+            system=self.system,
+        )

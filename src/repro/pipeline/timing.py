@@ -1,0 +1,332 @@
+"""Out-of-order timing model (scoreboard style).
+
+This is the substitute for the paper's gem5 Skylake model: a
+dependency-driven scheduling model that charges every micro-op its fetch
+group, decode depth, ROB occupancy, issue-width and functional-unit
+contention, cache-hierarchy latency, and branch/alias misprediction
+penalties.  It is not cycle-by-cycle RTL; it reproduces the *relative*
+costs the paper's evaluation depends on — micro-op expansion, shadow-table
+traffic, squash time — which is what Figures 6-9 compare.
+
+The model is driven by the machine in program order; wrong-path work is
+accounted as squash penalty cycles rather than simulated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..memory.cache import SetAssocCache
+from ..microop.uops import NUM_UREGS
+from .config import CoreConfig
+
+#: Pseudo-register index used for the flags dependency.
+_FLAGS = NUM_UREGS
+
+
+class FuType:
+    """Functional unit classes (Table III)."""
+
+    ALU = "alu"
+    MULT = "mult"
+    LOAD = "load"
+    STORE = "store"
+    CMU = "cmu"  # capability management units (Figure 2)
+    WALKER = "walker"  # alias-table hardware walker (Section V-C)
+
+
+@dataclass
+class TimingStats:
+    """Cycle/traffic accounting for one core."""
+
+    cycles: int = 0
+    uops: int = 0
+    macro_ops: int = 0
+    squash_cycles: int = 0
+    branch_squash_cycles: int = 0
+    alias_squash_cycles: int = 0
+    hostop_cycles: int = 0
+    fetch_groups: int = 0
+    icache_misses: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    dram_bytes: int = 0
+    shadow_dram_bytes: int = 0
+    rob_stall_events: int = 0
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return self.dram_bytes + self.shadow_dram_bytes
+
+    @property
+    def squash_fraction(self) -> float:
+        return self.squash_cycles / self.cycles if self.cycles else 0.0
+
+    def ipc(self) -> float:
+        return self.macro_ops / self.cycles if self.cycles else 0.0
+
+    def bandwidth_mb_per_s(self, frequency_ghz: float) -> float:
+        if not self.cycles:
+            return 0.0
+        seconds = self.cycles / (frequency_ghz * 1e9)
+        return self.total_dram_bytes / seconds / 1e6
+
+
+class _FuPool:
+    """A pool of (pipelined) functional units."""
+
+    __slots__ = ("_free",)
+
+    def __init__(self, units: int) -> None:
+        self._free = [0] * units
+
+    def reserve(self, ready: int, occupancy: int = 1) -> int:
+        slot = min(range(len(self._free)), key=self._free.__getitem__)
+        start = max(ready, self._free[slot])
+        self._free[slot] = start + occupancy
+        return start
+
+
+class TimingModel:
+    """Per-core scoreboard; shared L2 is passed in by the system."""
+
+    def __init__(self, config: CoreConfig, l2: SetAssocCache,
+                 name: str = "core0") -> None:
+        self.config = config
+        self.name = name
+        line_shift = config.line_bytes.bit_length() - 1
+        self.l1i = SetAssocCache(config.l1i_bytes // config.line_bytes,
+                                 config.l1i_ways, line_shift, name=f"{name}.l1i")
+        self.l1d = SetAssocCache(config.l1d_bytes // config.line_bytes,
+                                 config.l1d_ways, line_shift, name=f"{name}.l1d")
+        self.l2 = l2
+        self.stats = TimingStats()
+        self._pools = {
+            FuType.ALU: _FuPool(config.int_alu_units),
+            FuType.MULT: _FuPool(config.int_mult_units),
+            FuType.LOAD: _FuPool(2),
+            FuType.STORE: _FuPool(1),
+            FuType.CMU: _FuPool(config.cmu_units),
+            FuType.WALKER: _FuPool(config.alias_walkers),
+        }
+        self._reg_ready = [0] * (NUM_UREGS + 1)
+        self._rob: Deque[int] = deque()
+        self._lq: Deque[int] = deque()
+        self._sq: Deque[int] = deque()
+        self._issue_used: Dict[int, int] = {}
+        self._commit_used: Dict[int, int] = {}
+        self._fetch_cycle = 0
+        self._group_used = config.fetch_width  # force a fresh group first
+        self._last_iline = -1
+        self._last_commit = 0
+        self._prune_mark = 0
+
+    # -- front end --------------------------------------------------------------
+
+    def begin_macro(self, pc: int, fetch_slots: int = 1,
+                    msrom: bool = False) -> None:
+        """Account the fetch/decode of one macro instruction.
+
+        ``fetch_slots`` > 1 models binary-translation instrumentation that
+        rides in the macro stream; an MSROM translation consumes the whole
+        fetch group (the MSROM serializes legacy decoders).
+        """
+        self.stats.macro_ops += 1
+        slots = self.config.fetch_width if msrom else fetch_slots
+        if self._group_used + slots > self.config.fetch_width:
+            self._fetch_cycle += 1
+            self._group_used = 0
+            self.stats.fetch_groups += 1
+        self._group_used += slots
+        line = pc >> (self.config.line_bytes.bit_length() - 1)
+        if line != self._last_iline:
+            self._last_iline = line
+            if not self.l1i.access(line):
+                self.stats.icache_misses += 1
+                if self.l2.access(line):
+                    self._fetch_cycle += self.config.l2_latency
+                else:
+                    self._fetch_cycle += self.config.mem_latency
+                    self.stats.dram_bytes += self.config.line_bytes
+
+    # -- memory hierarchy ----------------------------------------------------------
+
+    def mem_access(self, address: int, is_store: bool) -> int:
+        """Data-cache access; returns the load-to-use latency in cycles."""
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        if self.l1d.access(address):
+            return self.config.l1_latency
+        self.stats.l1d_misses += 1
+        if self.l2.access(address):
+            return self.config.l1_latency + self.config.l2_latency
+        self.stats.l2_misses += 1
+        self.stats.dram_bytes += self.config.line_bytes
+        if is_store:  # write-allocate: the line is fetched either way
+            pass
+        return (self.config.l1_latency + self.config.l2_latency
+                + self.config.mem_latency)
+
+    def shadow_access(self, latency_levels: int, bytes_moved: int) -> int:
+        """A shadow-structure access (capability table / alias walk).
+
+        Returns the added latency; traffic lands in the shadow byte meter.
+        """
+        self.stats.shadow_dram_bytes += bytes_moved
+        return latency_levels
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def schedule(
+        self,
+        srcs: Tuple[int, ...],
+        dst: Optional[int],
+        latency: int,
+        fu: str = FuType.ALU,
+        reads_flags: bool = False,
+        writes_flags: bool = False,
+        occupancy: int = 1,
+    ) -> int:
+        """Schedule one micro-op; returns its completion cycle."""
+        self.stats.uops += 1
+        dispatch = self._fetch_cycle + self.config.decode_depth
+        if len(self._rob) >= self.config.rob_entries:
+            oldest = self._rob.popleft()
+            if oldest > dispatch:
+                dispatch = oldest
+                self.stats.rob_stall_events += 1
+                # Dispatch backpressure stalls fetch too: the front end can
+                # only run one ROB's worth of work ahead of commit, which
+                # bounds the wrong-path window a squash can waste.
+                stalled_fetch = dispatch - self.config.decode_depth
+                if stalled_fetch > self._fetch_cycle:
+                    self._fetch_cycle = stalled_fetch
+        queue = self._lq if fu == FuType.LOAD else (
+            self._sq if fu == FuType.STORE else None)
+        if queue is not None:
+            limit = (self.config.lq_entries if fu == FuType.LOAD
+                     else self.config.sq_entries)
+            while queue and queue[0] <= dispatch:
+                queue.popleft()
+            if len(queue) >= limit:
+                dispatch = max(dispatch, queue.popleft())
+        ready = dispatch
+        for src in srcs:
+            if self._reg_ready[src] > ready:
+                ready = self._reg_ready[src]
+        if reads_flags and self._reg_ready[_FLAGS] > ready:
+            ready = self._reg_ready[_FLAGS]
+        issue = self._issue_slot(ready, fu, occupancy)
+        done = issue + latency
+        if dst is not None:
+            self._reg_ready[dst] = done
+        if writes_flags:
+            self._reg_ready[_FLAGS] = done
+        commit = self._commit_slot(done)
+        self._rob.append(commit)
+        if queue is not None:
+            queue.append(commit)
+        if commit > self._last_commit:
+            self._last_commit = commit
+        self._maybe_prune()
+        return done
+
+    def occupy(self, fu: str, ready: int, duration: int) -> int:
+        """Reserve a functional unit without issuing a uop (hardware
+        walkers, background engines).  Returns the start cycle."""
+        return self._pools[fu].reserve(ready, duration)
+
+    def routine_call(self, cost_uops: int, srcs: Tuple[int, ...],
+                     dst: Optional[int]) -> int:
+        """A host-implemented library routine (malloc/free internals).
+
+        Modelled as a block of ``cost_uops`` instructions flowing through
+        the pipeline normally: it occupies the front end for
+        ``cost_uops / fetch_width`` cycles and produces its result
+        ``cost_uops / 2`` cycles (routine IPC ~2) after its inputs are
+        ready — but it does *not* drain the pipe; surrounding independent
+        work overlaps, as it would around a real call.
+        """
+        self.stats.uops += 1
+        entry_fetch = self._fetch_cycle
+        self._fetch_cycle += max(1, cost_uops // self.config.fetch_width)
+        self._group_used = self.config.fetch_width
+        ready = entry_fetch + self.config.decode_depth
+        for src in srcs:
+            if self._reg_ready[src] > ready:
+                ready = self._reg_ready[src]
+        latency = max(1, cost_uops // 2)
+        done = ready + latency
+        self.stats.hostop_cycles += latency
+        if dst is not None:
+            self._reg_ready[dst] = done
+        commit = self._commit_slot(done)
+        self._rob.append(commit)
+        if commit > self._last_commit:
+            self._last_commit = commit
+        return done
+
+    # -- control flow / recovery ------------------------------------------------------------
+
+    def redirect(self, resolve_cycle: int, penalty: int,
+                 alias: bool = False) -> None:
+        """Squash: restart fetch after ``resolve_cycle`` plus refill penalty."""
+        new_fetch = resolve_cycle + penalty
+        if new_fetch > self._fetch_cycle:
+            # Squash time: wrong-path fetch ran from the current fetch point
+            # until resolution, then the pipe refills for ``penalty`` cycles.
+            wasted = new_fetch - self._fetch_cycle
+            self.stats.squash_cycles += wasted
+            if alias:
+                self.stats.alias_squash_cycles += wasted
+            else:
+                self.stats.branch_squash_cycles += wasted
+            self._fetch_cycle = new_fetch
+        self._group_used = self.config.fetch_width
+
+    def taken_branch(self) -> None:
+        """A correctly predicted taken branch still ends the fetch group."""
+        self._group_used = self.config.fetch_width
+
+    # -- end of run ------------------------------------------------------------------------------
+
+    def finish(self) -> TimingStats:
+        self.stats.cycles = max(self._last_commit, self._fetch_cycle, 1)
+        return self.stats
+
+    @property
+    def now(self) -> int:
+        """Approximate current time (last commit)."""
+        return self._last_commit
+
+    # -- internals -------------------------------------------------------------------------------
+
+    def _issue_slot(self, ready: int, fu: str, occupancy: int) -> int:
+        width = self.config.issue_width
+        cycle = self._pools[fu].reserve(ready, occupancy)
+        while self._issue_used.get(cycle, 0) >= width:
+            cycle += 1
+        self._issue_used[cycle] = self._issue_used.get(cycle, 0) + 1
+        return cycle
+
+    def _commit_slot(self, done: int) -> int:
+        cycle = max(done, self._last_commit)
+        while self._commit_used.get(cycle, 0) >= self.config.commit_width:
+            cycle += 1
+        self._commit_used[cycle] = self._commit_used.get(cycle, 0) + 1
+        return cycle
+
+    def _maybe_prune(self) -> None:
+        if len(self._issue_used) + len(self._commit_used) < 200_000:
+            return
+        horizon = self._last_commit - 1_000
+        self._issue_used = {c: n for c, n in self._issue_used.items()
+                            if c >= horizon}
+        self._commit_used = {c: n for c, n in self._commit_used.items()
+                             if c >= horizon}

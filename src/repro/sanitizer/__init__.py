@@ -1,0 +1,65 @@
+"""AddressSanitizer model: shadow memory, runtime, instrumentation pass.
+
+The one-call entry point is :func:`sanitize`, which wires the pieces
+together the way ``clang -fsanitize=address`` plus ``libasan`` would::
+
+    program, runtime, report = sanitize(program, allocator)
+    machine = Chex86Machine(program, variant=Variant.INSECURE,
+                            system=system, host_hooks=runtime.host_hooks())
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..heap.allocator import HeapAllocator
+from ..isa.program import Program
+from .instrument import (
+    REPORT_LABEL,
+    RESERVED_REGS,
+    InstrumentationError,
+    InstrumentationReport,
+    instrument_program,
+    needs_check,
+)
+from .runtime import MAX_ALLOC_BYTES, QUARANTINE_BYTES, AsanRuntime, AsanStats
+from .shadow import (
+    POISON_FREED,
+    POISON_NONE,
+    POISON_REDZONE,
+    REDZONE_BYTES,
+    SHADOW_BASE,
+    ShadowMemory,
+    shadow_address,
+)
+
+
+def sanitize(program: Program, allocator: HeapAllocator,
+             quarantine_capacity: int = QUARANTINE_BYTES
+             ) -> Tuple[Program, AsanRuntime, InstrumentationReport]:
+    """Instrument ``program`` and build its matching runtime."""
+    sanitized, report = instrument_program(program)
+    runtime = AsanRuntime(allocator, quarantine_capacity)
+    return sanitized, runtime, report
+
+
+__all__ = [
+    "AsanRuntime",
+    "AsanStats",
+    "InstrumentationError",
+    "InstrumentationReport",
+    "MAX_ALLOC_BYTES",
+    "POISON_FREED",
+    "POISON_NONE",
+    "POISON_REDZONE",
+    "QUARANTINE_BYTES",
+    "REDZONE_BYTES",
+    "REPORT_LABEL",
+    "RESERVED_REGS",
+    "SHADOW_BASE",
+    "ShadowMemory",
+    "instrument_program",
+    "needs_check",
+    "sanitize",
+    "shadow_address",
+]

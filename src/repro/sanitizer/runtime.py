@@ -1,0 +1,181 @@
+"""The AddressSanitizer runtime: redzoned allocator and quarantine.
+
+Replaces the heap library's host routines when a program runs under ASan:
+``malloc`` pads every allocation with poisoned redzones, ``free`` poisons
+the object and parks it in a bounded quarantine (delaying reuse so
+use-after-free hits poisoned shadow), and ``__asan_report`` turns a shadow
+hit into a recorded violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Tuple
+
+from ..core.violations import CapabilityException, Violation, ViolationKind
+from ..heap.allocator import HeapAllocator
+from ..isa.registers import Reg
+from .shadow import (
+    POISON_FREED,
+    POISON_REDZONE,
+    REDZONE_BYTES,
+    ShadowMemory,
+)
+
+#: Default quarantine capacity (bytes of freed-but-not-reusable memory).
+QUARANTINE_BYTES = 1 << 20
+
+#: ASan rejects absurd requests instead of trying to allocate them
+#: (the "allocator returns null / sizes" test cases).
+MAX_ALLOC_BYTES = 1 << 30
+
+
+@dataclass
+class AsanStats:
+    allocations: int = 0
+    frees: int = 0
+    quarantine_bytes: int = 0
+    quarantine_evictions: int = 0
+    redzone_bytes: int = 0
+    reports: int = 0
+    rejected_allocs: int = 0
+
+
+class AsanRuntime:
+    """Host-side ASan runtime state for one simulated process."""
+
+    def __init__(self, allocator: HeapAllocator,
+                 quarantine_capacity: int = QUARANTINE_BYTES) -> None:
+        self.allocator = allocator
+        self.shadow = ShadowMemory(allocator.memory)
+        self.quarantine: Deque[Tuple[int, int]] = deque()  # (user, total)
+        self.quarantine_capacity = quarantine_capacity
+        self.sizes: Dict[int, int] = {}  # user pointer -> requested size
+        self.stats = AsanStats()
+
+    # -- allocation wrappers -----------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size <= 0 or size > MAX_ALLOC_BYTES:
+            self.stats.rejected_allocs += 1
+            return 0
+        total = size + 2 * REDZONE_BYTES
+        raw = self.allocator.malloc(total)
+        if raw == 0:
+            return 0
+        user = raw + REDZONE_BYTES
+        self.shadow.poison_range(raw, REDZONE_BYTES, POISON_REDZONE)
+        self.shadow.unpoison_range(user, size)
+        self.shadow.poison_range(user + size, REDZONE_BYTES, POISON_REDZONE)
+        self.sizes[user] = size
+        self.stats.allocations += 1
+        self.stats.redzone_bytes += 2 * REDZONE_BYTES
+        return user
+
+    def calloc(self, count: int, size: int) -> int:
+        total = count * size
+        user = self.malloc(total)
+        if user:
+            words = (total + 7) // 8
+            self.allocator.memory.fill_words(user, [0] * words, metered=True)
+        return user
+
+    def free(self, user: int) -> None:
+        if user == 0:
+            return
+        size = self.sizes.get(user)
+        if size is None:
+            self._report_direct(ViolationKind.INVALID_FREE, user)
+            return
+        if self.shadow.poison_value(user) == POISON_FREED:
+            self._report_direct(ViolationKind.DOUBLE_FREE, user)
+            return
+        self.shadow.poison_range(user, size, POISON_FREED)
+        self.stats.frees += 1
+        self._quarantine(user, size)
+
+    def realloc(self, user: int, size: int) -> int:
+        if user == 0:
+            return self.malloc(size)
+        if size <= 0:
+            self.free(user)
+            return 0
+        old_size = self.sizes.get(user, 0)
+        new_user = self.malloc(size)
+        if new_user:
+            words = (min(old_size, size) + 7) // 8
+            memory = self.allocator.memory
+            for i in range(words):
+                memory.write_word(new_user + i * 8,
+                                  memory.read_word(user + i * 8))
+            self.free(user)
+        return new_user
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def classify_poison(self, poison: int) -> ViolationKind:
+        if poison == POISON_FREED:
+            return ViolationKind.USE_AFTER_FREE
+        return ViolationKind.OUT_OF_BOUNDS
+
+    def _report_direct(self, kind: ViolationKind, address: int) -> None:
+        self.stats.reports += 1
+        raise CapabilityException(Violation(
+            kind=kind, pid=0, address=address,
+            detail="AddressSanitizer runtime check",
+        ))
+
+    # -- quarantine ---------------------------------------------------------------------
+
+    def _quarantine(self, user: int, size: int) -> None:
+        total = size + 2 * REDZONE_BYTES
+        self.quarantine.append((user, total))
+        self.stats.quarantine_bytes += total
+        while self.stats.quarantine_bytes > self.quarantine_capacity:
+            old_user, old_total = self.quarantine.popleft()
+            self.stats.quarantine_bytes -= old_total
+            self.stats.quarantine_evictions += 1
+            del self.sizes[old_user]
+            # Reuse allowed again: return the raw chunk to the allocator and
+            # clear the freed poison (redzones of the next owner re-poison).
+            old_size = old_total - 2 * REDZONE_BYTES
+            self.shadow.unpoison_range(old_user, old_size)
+            self.allocator.free(old_user - REDZONE_BYTES)
+
+    # -- host hook table ------------------------------------------------------------------
+
+    def host_hooks(self) -> Dict[str, Callable]:
+        """Hooks that replace the plain heap library under ASan."""
+
+        def heap_malloc(regs: List[int]) -> None:
+            regs[Reg.RAX] = self.malloc(regs[Reg.RDI])
+
+        def heap_calloc(regs: List[int]) -> None:
+            regs[Reg.RAX] = self.calloc(regs[Reg.RDI], regs[Reg.RSI])
+
+        def heap_realloc(regs: List[int]) -> None:
+            regs[Reg.RAX] = self.realloc(regs[Reg.RDI], regs[Reg.RSI])
+
+        def heap_free(regs: List[int]) -> None:
+            self.free(regs[Reg.RDI])
+            regs[Reg.RAX] = 0
+
+        def asan_report(regs: List[int]) -> None:
+            # The instrumentation loads the poison word into r14 and the
+            # faulting address into r15 before calling the report stub.
+            self.stats.reports += 1
+            poison = regs[Reg.R14]
+            raise CapabilityException(Violation(
+                kind=self.classify_poison(poison), pid=0,
+                address=regs[Reg.R15],
+                detail=f"AddressSanitizer shadow hit (poison={poison:#x})",
+            ))
+
+        return {
+            "heap_malloc": heap_malloc,
+            "heap_calloc": heap_calloc,
+            "heap_realloc": heap_realloc,
+            "heap_free": heap_free,
+            "asan_report": asan_report,
+        }

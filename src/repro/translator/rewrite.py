@@ -1,0 +1,88 @@
+"""The binary translator: static ``capchk`` instrumentation.
+
+Rewrites a program the way the paper's binary-translation variant would:
+every instruction with a register-memory addressing mode gets a ``capchk``
+ISA-extension instruction inserted ahead of it, naming the same memory
+operand (the check resolves its PID from the pointer tracker in hardware
+— the "special instructions made available through secure ISA extensions").
+
+Unlike the microcode variant, these checks are *macro instructions*: they
+occupy fetch slots, decode slots, and code footprint, which is the
+front-end-throughput cost the paper measures. The translated program runs
+under ``Variant.BT_ISA_EXTENSION`` (no injection — everything is explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..isa.instructions import Instr, Op
+from ..isa.operands import Imm, Mem
+from ..isa.program import Program
+from ..isa.registers import Reg
+
+#: Instructions whose implicit (stack) accesses the translator skips, plus
+#: non-dereferencing memory-operand users.
+_SKIP_OPS = {Op.PUSH, Op.POP, Op.CALL, Op.RET, Op.LEA, Op.NOP, Op.HALT,
+             Op.HOSTOP, Op.CAPCHK}
+
+#: Mnemonics whose memory operand is written (for the check's write flag).
+_WRITING_OPS = {Op.MOV, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.IMUL,
+                Op.SHL, Op.SHR, Op.INC, Op.DEC, Op.NEG, Op.NOT}
+
+
+@dataclass
+class TranslationReport:
+    """What the translator did (the BT variant's instrumentation stats)."""
+
+    instrumented: int = 0
+    skipped_stack: int = 0
+    added_instructions: int = 0
+
+    @property
+    def code_growth(self) -> int:
+        return self.added_instructions
+
+
+def _needs_check(instr: Instr) -> bool:
+    if instr.op in _SKIP_OPS:
+        return False
+    mem = instr.mem_operand
+    if mem is None:
+        return False
+    if mem.base in (Reg.RSP, Reg.RBP) and mem.index is None:
+        return False  # frame traffic: untracked by construction
+    return True
+
+
+def _is_write(instr: Instr) -> bool:
+    """Whether the memory operand is (also) written."""
+    if instr.op not in _WRITING_OPS:
+        return False
+    return isinstance(instr.operands[0], Mem)
+
+
+def translate(program: Program) -> Tuple[Program, TranslationReport]:
+    """Return ``(translated_program, report)``.
+
+    Labels move onto the inserted check so all control flow re-resolves,
+    exactly like the sanitizer's instrumentation pass.
+    """
+    report = TranslationReport()
+    out: List[Instr] = []
+    for instr in program.instrs:
+        if not _needs_check(instr):
+            if instr.mem_operand is not None and instr.op not in _SKIP_OPS:
+                report.skipped_stack += 1
+            out.append(instr)
+            continue
+        operands = (instr.mem_operand, Imm(1)) if _is_write(instr) \
+            else (instr.mem_operand,)
+        out.append(Instr(Op.CAPCHK, operands, label=instr.label))
+        out.append(Instr(instr.op, instr.operands, comment=instr.comment))
+        report.instrumented += 1
+        report.added_instructions += 1
+    translated = Program(out, program.globals, text_base=program.text_base,
+                         name=program.name + "+bt")
+    return translated, report

@@ -1,0 +1,48 @@
+"""Synthetic SPEC CPU2017 / PARSEC 2.1 benchmark analogues."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import AsmBuilder, Workload
+from .parsec import DEFAULT_THREADS, PARSEC_BUILDERS
+from .spec import SPEC_BUILDERS
+
+#: Benchmarks in the order Figure 6 plots them.
+BENCHMARK_ORDER = (
+    "perlbench", "gcc", "mcf", "xalancbmk", "deepsjeng", "leela", "lbm",
+    "nab", "blackscholes", "bodytrack", "fluidanimate", "freqmine",
+    "swaptions", "canneal",
+)
+
+SPEC_NAMES = tuple(SPEC_BUILDERS)
+PARSEC_NAMES = tuple(PARSEC_BUILDERS)
+
+
+def build(name: str, scale: int = 1, **kwargs) -> Workload:
+    """Build one benchmark by name."""
+    if name in SPEC_BUILDERS:
+        return SPEC_BUILDERS[name](scale, **kwargs)
+    if name in PARSEC_BUILDERS:
+        return PARSEC_BUILDERS[name](scale, **kwargs)
+    raise KeyError(f"unknown benchmark {name!r}; "
+                   f"choose from {BENCHMARK_ORDER}")
+
+
+def build_all(scale: int = 1) -> List[Workload]:
+    """All 14 paper benchmarks, Figure 6 order."""
+    return [build(name, scale) for name in BENCHMARK_ORDER]
+
+
+__all__ = [
+    "AsmBuilder",
+    "BENCHMARK_ORDER",
+    "DEFAULT_THREADS",
+    "PARSEC_BUILDERS",
+    "PARSEC_NAMES",
+    "SPEC_BUILDERS",
+    "SPEC_NAMES",
+    "Workload",
+    "build",
+    "build_all",
+]

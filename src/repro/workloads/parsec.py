@@ -1,0 +1,192 @@
+"""Synthetic analogues of the PARSEC 2.1 benchmarks (multithreaded).
+
+Each builder emits one program containing per-thread code regions: thread 0
+enters at ``main``, thread *k* at ``worker<k>``.  Threads work on disjoint
+partitions (separate pools), but share the process heap, capability table
+and alias table — so frees and alias stores generate the cross-core
+invalidation traffic Sections IV-C / V-C describe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .base import (
+    AsmBuilder,
+    Workload,
+    phase_alloc_pool,
+    phase_array_sweep,
+    phase_churn,
+    phase_compute,
+    phase_free_pool,
+    phase_linked_list,
+    phase_list_walk,
+    phase_random_chase,
+    phase_repeat_chase,
+    phase_stride_chase,
+)
+
+#: Threads per PARSEC workload (the paper runs them multithreaded).
+DEFAULT_THREADS = 4
+
+
+def _threaded(name: str, description: str, threads: int,
+              emit_thread: Callable[[AsmBuilder, int], None]) -> Workload:
+    """Assemble a program with one entry label per thread."""
+    b = AsmBuilder(name)
+    entries: List[str] = []
+    for tid in range(threads):
+        entry = "main" if tid == 0 else f"worker{tid}"
+        entries.append(entry)
+        b.label(entry)
+        b.op("nop")
+        b.op(f"mov r10, {0xBEEF + tid * 7919}")
+        emit_thread(b, tid)
+        b.op("halt")
+    return Workload(name, "PARSEC", b.source(), description,
+                    threads=threads, entry_labels=tuple(entries))
+
+
+def blackscholes(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """Option pricing: embarrassingly parallel compute, few allocations."""
+    builder_globals = {}
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        slot = f"opts_t{tid}"
+        if slot not in builder_globals:
+            b.global_(slot, 16)
+            builder_globals[slot] = True
+        b.op("mov rdi, 4096")
+        b.op("call malloc")
+        b.op(f"mov r11, [{slot}.addr]")
+        b.op("mov [r11], rax")
+        phase_array_sweep(b, slot, words=256, iters=4 * scale)
+        phase_compute(b, iters=900 * scale)
+
+    return _threaded("blackscholes",
+                     "per-thread option arrays, compute dominated",
+                     threads, emit)
+
+
+def bodytrack(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """Vision pipeline: per-frame allocation batches, freed each frame."""
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        pool = f"frame_t{tid}"
+        b.global_(pool, 16 * 8)
+        frame = b.fresh("frame")
+        b.op("mov rbp, 0")
+        b.label(frame)
+        phase_alloc_pool(b, pool, 16, 64)
+        phase_stride_chase(b, pool, 16, iters=1, touches=3)
+        phase_free_pool(b, pool, 16)
+        b.op("add rbp, 1")
+        b.op(f"cmp rbp, {6 * scale}")
+        b.op(f"jne {frame}")
+        phase_compute(b, iters=300 * scale)
+
+    return _threaded("bodytrack",
+                     "per-frame allocate/track/free batches",
+                     threads, emit)
+
+
+def fluidanimate(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """Particle simulation: cell lists with pointer respilling."""
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        cells = f"cells_t{tid}"
+        b.global_(cells, 32 * 8)
+        phase_alloc_pool(b, cells, 32, 48)
+        phase_stride_chase(b, cells, 32, iters=3 * scale, touches=4)
+        # Particles migrate between cells: pointers are re-spilled, which
+        # exercises alias-cache coherence across cores.
+        shuffle = b.fresh("migrate")
+        b.op("mov r8, 0")
+        b.label(shuffle)
+        b.lcg_next("r11", mask=31)
+        b.op("mov rbx, [r12 + r11*8]")
+        b.lcg_next("r9", mask=31)
+        b.op("mov rdx, [r12 + r9*8]")
+        b.op("mov [r12 + r11*8], rdx")
+        b.op("mov [r12 + r9*8], rbx")
+        b.op("add r8, 1")
+        b.op(f"cmp r8, {120 * scale}")
+        b.op(f"jne {shuffle}")
+        phase_free_pool(b, cells, 32)
+
+    return _threaded("fluidanimate",
+                     "cell lists with heavy pointer respilling/migration",
+                     threads, emit)
+
+
+def freqmine(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """FP-growth mining: tree construction, allocation heavy."""
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        head = f"tree_t{tid}"
+        b.global_(head, 16)
+        phase_linked_list(b, head, nodes=96, node_size=32)
+        phase_list_walk(b, head, iters=4 * scale)
+        phase_churn(b, 32, iters=200 * scale)
+
+    return _threaded("freqmine",
+                     "per-thread FP-tree construction and walks",
+                     threads, emit)
+
+
+def swaptions(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """HJM Monte-Carlo: per-trial simulation buffer churn + compute."""
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        trial = b.fresh("trial")
+        b.op("mov rbp, 0")
+        b.label(trial)
+        b.op("mov rdi, 512")
+        b.op("call malloc")
+        b.op("mov rbx, rax")
+        inner = b.fresh("sim")
+        b.op("mov r9, 0")
+        b.label(inner)
+        b.op("mov rax, [rbx + r9*8]")
+        b.op("imul rax, 5")
+        b.op("add rax, 11")
+        b.op("mov [rbx + r9*8], rax")
+        b.op("add r9, 1")
+        b.op("cmp r9, 32")
+        b.op(f"jne {inner}")
+        b.op("mov rdi, rbx")
+        b.op("call free")
+        b.op("add rbp, 1")
+        b.op(f"cmp rbp, {25 * scale}")
+        b.op(f"jne {trial}")
+        phase_compute(b, iters=500 * scale)
+
+    return _threaded("swaptions",
+                     "per-trial buffer allocate/simulate/free",
+                     threads, emit)
+
+
+def canneal(scale: int = 1, threads: int = DEFAULT_THREADS) -> Workload:
+    """Simulated annealing: random element picks and pointer swaps."""
+
+    def emit(b: AsmBuilder, tid: int) -> None:
+        pool = f"elems_t{tid}"
+        b.global_(pool, 64 * 8)
+        phase_alloc_pool(b, pool, 64, 32)
+        phase_random_chase(b, pool, 64, iters=500 * scale)
+        phase_repeat_chase(b, pool, (7, 21, 42), iters=60 * scale)
+
+    return _threaded("canneal",
+                     "random-order element accesses (Random pattern)",
+                     threads, emit)
+
+
+#: The PARSEC benchmarks of the paper, in Figure 6 order.
+PARSEC_BUILDERS = {
+    "blackscholes": blackscholes,
+    "bodytrack": bodytrack,
+    "fluidanimate": fluidanimate,
+    "freqmine": freqmine,
+    "swaptions": swaptions,
+    "canneal": canneal,
+}

@@ -1,0 +1,193 @@
+"""Synthetic analogues of the SPEC CPU2017 C/C++ benchmarks.
+
+Each builder reproduces the published behavioural profile of its namesake —
+the allocation-volume ordering of Figure 3 (xalancbmk and gcc allocate the
+most, lbm almost nothing), the temporal reload patterns of Table II
+(perlbench is the heaviest "Batch + Stride" benchmark, sjeng and lbm are
+"Constant"), and the paper's characterization of mcf/xalancbmk/leela as the
+pointer-intensive outliers that dominate CHEx86's average overhead.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    AsmBuilder,
+    Workload,
+    phase_alloc_pool,
+    phase_array_sweep,
+    phase_churn,
+    phase_compute,
+    phase_free_pool,
+    phase_linked_list,
+    phase_list_walk,
+    phase_random_chase,
+    phase_repeat_chase,
+    phase_stride_chase,
+    standard_epilogue,
+    standard_prologue,
+)
+
+
+def perlbench(scale: int = 1) -> Workload:
+    """Interpreter-style: many small allocations, dominant Batch+Stride."""
+    b = AsmBuilder("perlbench")
+    b.global_("pool", 64 * 8)
+    standard_prologue(b, seed=0x5EED1)
+    phase_alloc_pool(b, "pool", 64, 32)
+    phase_stride_chase(b, "pool", 64, iters=4 * scale, touches=3)
+    phase_repeat_chase(b, "pool", (3, 9, 17), iters=120 * scale)
+    phase_churn(b, 48, iters=160 * scale)
+    phase_compute(b, iters=400 * scale)
+    phase_free_pool(b, "pool", 64)
+    standard_epilogue(b)
+    return Workload("perlbench", "SPEC", b.source(),
+                    "hash/string interpreter profile: small allocations, "
+                    "batch+stride reloads, alloc churn")
+
+
+def gcc(scale: int = 1) -> Workload:
+    """Compiler-style: high allocation volume, varied sizes, branchy."""
+    b = AsmBuilder("gcc")
+    b.global_("pool", 128 * 8)
+    standard_prologue(b, seed=0x6CC)
+    phase_alloc_pool(b, "pool", 128, 24, size_step=8)
+    phase_stride_chase(b, "pool", 128, iters=2 * scale, touches=2)
+    phase_free_pool(b, "pool", 128, start=1, step=2)   # free odd entries
+    phase_churn(b, 64, iters=220 * scale)
+    phase_repeat_chase(b, "pool", (0, 2, 4, 6), iters=80 * scale)
+    phase_compute(b, iters=300 * scale)
+    phase_free_pool(b, "pool", 128, start=0, step=2)
+    standard_epilogue(b)
+    return Workload("gcc", "SPEC", b.source(),
+                    "IR-node profile: high allocation volume in varied "
+                    "sizes, partial frees, mixed reload patterns")
+
+
+def mcf(scale: int = 1) -> Workload:
+    """Network simplex: pointer chasing over a large live node set."""
+    b = AsmBuilder("mcf")
+    b.global_("head", 16)
+    b.global_("arcs", 32 * 8)
+    standard_prologue(b, seed=0x3CF)
+    phase_linked_list(b, "head", nodes=192, node_size=32)
+    phase_list_walk(b, "head", iters=6 * scale)
+    phase_alloc_pool(b, "arcs", 32, 64)
+    phase_random_chase(b, "arcs", 32, iters=500 * scale)
+    phase_list_walk(b, "head", iters=4 * scale)
+    standard_epilogue(b)
+    return Workload("mcf", "SPEC", b.source(),
+                    "min-cost-flow profile: long pointer chases over a "
+                    "large live set, memory-bound")
+
+
+def xalancbmk(scale: int = 1) -> Workload:
+    """XML transformer: extreme allocation churn, pointer-intensive."""
+    b = AsmBuilder("xalancbmk")
+    b.global_("pool", 64 * 8)
+    standard_prologue(b, seed=0xA1A)
+    phase_churn(b, 40, iters=500 * scale)
+    phase_alloc_pool(b, "pool", 64, 40)
+    phase_stride_chase(b, "pool", 64, iters=5 * scale, touches=4)
+    phase_free_pool(b, "pool", 64)
+    phase_churn(b, 56, iters=300 * scale)
+    standard_epilogue(b)
+    return Workload("xalancbmk", "SPEC", b.source(),
+                    "DOM-node profile: the heaviest alloc/free churn and "
+                    "pointer dereference density in the suite")
+
+
+def deepsjeng(scale: int = 1) -> Workload:
+    """Chess search: few allocations, repeated table probing (Constant)."""
+    b = AsmBuilder("deepsjeng")
+    b.global_("tables", 8 * 8)
+    standard_prologue(b, seed=0xDEE9)
+    phase_alloc_pool(b, "tables", 8, 1024)
+    phase_random_chase(b, "tables", 8, iters=700 * scale)
+    phase_repeat_chase(b, "tables", (0, 0, 0, 1), iters=200 * scale)
+    phase_compute(b, iters=900 * scale)
+    standard_epilogue(b)
+    return Workload("deepsjeng", "SPEC", b.source(),
+                    "transposition-table profile: a handful of large "
+                    "allocations probed repeatedly, compute heavy")
+
+
+def leela(scale: int = 1, libstdcxx_constant_deref: bool = False) -> Workload:
+    """Go engine: tree node churn; optionally the statically-linked
+    libstdc++ constant-address idiom that causes the paper's one false
+    positive (Section VII-B)."""
+    b = AsmBuilder("leela")
+    b.global_("nodes", 64 * 8)
+    b.global_("iostate", 32, 7, 7)
+    standard_prologue(b, seed=0x1EE1A)
+    phase_alloc_pool(b, "nodes", 64, 48)
+    phase_stride_chase(b, "nodes", 64, iters=3 * scale, touches=2)
+    phase_free_pool(b, "nodes", 64, start=0, step=2)
+    phase_churn(b, 48, iters=250 * scale)
+    phase_repeat_chase(b, "nodes", (1, 3, 5), iters=100 * scale)
+    if libstdcxx_constant_deref:
+        # Statically-linked libstdc++ moves a constant integer address into
+        # a register and dereferences it (the benign-but-flagged idiom).
+        iostate = b.global_("iostate2", 16, 42)
+        b.op(f"movabs rbx, {0x600000}")  # placeholder; patched below
+        b.raw("    ; constant-address dereference (false-positive path)")
+        b.op("mov rax, [rbx]")
+    phase_compute(b, iters=500 * scale)
+    standard_epilogue(b)
+    source = b.source()
+    if libstdcxx_constant_deref:
+        # Point the constant at the real iostate2 address.
+        program_probe = __import__("repro.isa", fromlist=["assemble"]) \
+            .assemble(source, name="leela-probe")
+        address = next(g.address for g in program_probe.globals
+                       if g.name == "iostate2")
+        source = source.replace(f"movabs rbx, {0x600000}",
+                                f"movabs rbx, {address}")
+    return Workload("leela", "SPEC", source,
+                    "MCTS tree profile: node churn with partial frees; "
+                    "optional constant-dereference false-positive path")
+
+
+def lbm(scale: int = 1) -> Workload:
+    """Lattice Boltzmann: one big grid, streaming sweeps, no churn."""
+    b = AsmBuilder("lbm")
+    b.global_("grid", 16)
+    standard_prologue(b, seed=0x1B3)
+    b.op("mov rdi, 16384")
+    b.op("call malloc")
+    b.op("mov r11, [grid.addr]")
+    b.op("mov [r11], rax")
+    phase_array_sweep(b, "grid", words=1024, iters=6 * scale)
+    phase_compute(b, iters=600 * scale)
+    standard_epilogue(b)
+    return Workload("lbm", "SPEC", b.source(),
+                    "stencil profile: two allocations, streaming sweeps, "
+                    "negligible pointer activity (Constant pattern)")
+
+
+def nab(scale: int = 1) -> Workload:
+    """Molecular dynamics: moderate arrays + arithmetic."""
+    b = AsmBuilder("nab")
+    b.global_("arrays", 16 * 8)
+    standard_prologue(b, seed=0x4AB)
+    phase_alloc_pool(b, "arrays", 16, 256)
+    phase_stride_chase(b, "arrays", 16, iters=6 * scale, touches=6)
+    phase_compute(b, iters=800 * scale)
+    phase_random_chase(b, "arrays", 16, iters=200 * scale)
+    phase_free_pool(b, "arrays", 16)
+    standard_epilogue(b)
+    return Workload("nab", "SPEC", b.source(),
+                    "force-field profile: medium arrays, strided access, "
+                    "arithmetic heavy")
+
+
+#: The SPEC CPU2017 C/C++ benchmarks of the paper, in Figure 6 order.
+SPEC_BUILDERS = {
+    "perlbench": perlbench,
+    "gcc": gcc,
+    "mcf": mcf,
+    "xalancbmk": xalancbmk,
+    "deepsjeng": deepsjeng,
+    "leela": leela,
+    "lbm": lbm,
+    "nab": nab,
+}

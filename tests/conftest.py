@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the CHEx86 reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.heap import heap_library_asm
+from repro.isa import Program, assemble
+
+
+def assemble_main(body: str, name: str = "test", globals_asm: str = "") -> Program:
+    """Wrap ``body`` in a main label, append halt and the heap library."""
+    source = globals_asm + "main:\n" + body + "\n    halt\n" + heap_library_asm()
+    return assemble(source, name=name)
+
+
+def run_program(body: str, variant: Variant = Variant.UCODE_PREDICTION,
+                globals_asm: str = "", trap: bool = True,
+                max_instructions: int = 200_000, **kwargs):
+    """Assemble and run ``body``; returns the RunResult.
+
+    Trapping on the first violation is the default — it matches how a
+    deployed CHEx86 machine faults, and it keeps tests of corrupting
+    programs (whose post-violation behaviour is undefined) fast.
+    """
+    program = assemble_main(body, globals_asm=globals_asm)
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=trap, **kwargs)
+    return machine.run(max_instructions=max_instructions)
+
+
+@pytest.fixture
+def make_machine():
+    """Factory fixture: build a machine from a body snippet."""
+
+    def factory(body: str, variant: Variant = Variant.UCODE_PREDICTION,
+                globals_asm: str = "", **kwargs) -> Chex86Machine:
+        program = assemble_main(body, globals_asm=globals_asm)
+        return Chex86Machine(program, variant=variant,
+                             halt_on_violation=False, **kwargs)
+
+    return factory

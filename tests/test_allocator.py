@@ -1,0 +1,150 @@
+"""Unit tests for the free-list heap allocator (the exploitable substrate)."""
+
+import pytest
+
+from repro.heap import ALIGN, HEADER_BYTES, HeapAllocator, INUSE_BIT
+from repro.isa import HEAP_BASE
+from repro.memory import Memory
+
+
+@pytest.fixture
+def heap():
+    return HeapAllocator(Memory())
+
+
+class TestMalloc:
+    def test_returns_user_pointer_past_header(self, heap):
+        user = heap.malloc(32)
+        assert user == HEAP_BASE + HEADER_BYTES
+
+    def test_alignment(self, heap):
+        pointers = [heap.malloc(n) for n in (1, 7, 24, 100)]
+        assert all((p - HEADER_BYTES) % ALIGN == 0 for p in pointers)
+
+    def test_distinct_live_allocations_do_not_overlap(self, heap):
+        spans = []
+        for size in (16, 64, 8, 128):
+            user = heap.malloc(size)
+            spans.append((user, user + size))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_header_marks_in_use(self, heap):
+        user = heap.malloc(16)
+        header = heap.memory.read_word(user - HEADER_BYTES)
+        assert header & INUSE_BIT
+
+    def test_zero_or_negative_size_fails(self, heap):
+        assert heap.malloc(0) == 0
+        assert heap.malloc(-5) == 0
+        assert heap.stats.failed_allocs == 2
+
+    def test_exhaustion_returns_null(self):
+        heap = HeapAllocator(Memory(), limit=256)
+        assert heap.malloc(64) != 0
+        assert heap.malloc(64) != 0
+        assert heap.malloc(64) != 0
+        assert heap.malloc(64) == 0  # wilderness exhausted
+
+
+class TestFreeAndReuse:
+    def test_free_then_malloc_reuses_chunk(self, heap):
+        first = heap.malloc(48)
+        heap.free(first)
+        second = heap.malloc(48)
+        assert second == first
+
+    def test_bins_are_lifo(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(a)
+        heap.free(b)
+        assert heap.malloc(32) == b
+        assert heap.malloc(32) == a
+
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+        assert heap.stats.total_frees == 0
+
+    def test_free_clears_inuse_bit(self, heap):
+        user = heap.malloc(16)
+        heap.free(user)
+        assert not heap.memory.read_word(user - HEADER_BYTES) & INUSE_BIT
+
+    def test_fd_pointer_written_into_user_area(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.free(a)
+        heap.free(b)
+        # b's fd should point at a's chunk base (LIFO list through memory).
+        assert heap.memory.read_word(b) == a - HEADER_BYTES
+
+
+class TestExploitablePaths:
+    """The unhardened behaviours How2Heap-style exploits rely on."""
+
+    def test_corrupted_fd_returns_arbitrary_chunk(self, heap):
+        victim = heap.malloc(32)
+        heap.free(victim)
+        fake = 0x41410000
+        heap.memory.write_word(victim, fake)  # UAF write corrupts fd
+        assert heap.malloc(32) == victim      # first pop: the real chunk
+        assert heap.malloc(32) == fake + HEADER_BYTES  # then the fake one
+
+    def test_double_free_duplicates_chunk(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        heap.free(a)  # no check: fastbin dup
+        assert heap.malloc(32) == a
+        assert heap.malloc(32) == a
+
+    def test_invalid_free_inserts_fake_chunk(self, heap):
+        fake_base = 0x50000
+        heap.memory.write_word(fake_base, 48)  # plausible size header
+        heap.free(fake_base + HEADER_BYTES)
+        assert heap.malloc(40) == fake_base + HEADER_BYTES
+
+
+class TestCallocRealloc:
+    def test_calloc_zeroes(self, heap):
+        user = heap.malloc(32)
+        heap.memory.write_word(user, 0xFF)
+        heap.free(user)
+        again = heap.calloc(4, 8)
+        assert again == user
+        assert heap.memory.read_word(again) == 0
+
+    def test_realloc_grows_and_copies(self, heap):
+        user = heap.malloc(16)
+        heap.memory.write_word(user, 1234)
+        bigger = heap.realloc(user, 256)
+        assert bigger != user
+        assert heap.memory.read_word(bigger) == 1234
+        assert heap.record_for(user).freed
+
+    def test_realloc_null_is_malloc(self, heap):
+        assert heap.realloc(0, 64) != 0
+
+    def test_realloc_zero_is_free(self, heap):
+        user = heap.malloc(16)
+        assert heap.realloc(user, 0) == 0
+        assert heap.stats.live == 0
+
+
+class TestRecords:
+    def test_stats_track_live_and_peak(self, heap):
+        a = heap.malloc(8)
+        b = heap.malloc(8)
+        heap.free(a)
+        assert heap.stats.total_allocs == 2
+        assert heap.stats.live == 1
+        assert heap.stats.max_live == 2
+
+    def test_record_for_interior_pointer(self, heap):
+        user = heap.malloc(64)
+        record = heap.record_for(user + 40)
+        assert record is not None and record.address == user
+
+    def test_record_for_unknown_address(self, heap):
+        assert heap.record_for(0x999999) is None

@@ -1,0 +1,134 @@
+"""Tests for the analysis package: CVE data, patterns, profiling, tables."""
+
+import pytest
+
+from repro.analysis import (
+    CATEGORIES,
+    CVE_ROOT_CAUSES,
+    PAPER_CHEX86,
+    PRIOR_WORK,
+    Pattern,
+    TABLE2_EXAMPLES,
+    all_years,
+    average_memory_safety_share,
+    breakdown,
+    classify,
+    full_table,
+    measured_chex86_row,
+    orders_of_magnitude_gaps,
+    profile_patterns,
+    profile_workload,
+    qualitative_claims,
+    render_bars,
+    render_grouped_bars,
+    render_table,
+)
+from repro.workloads import build
+
+
+class TestCveDataset:
+    def test_every_year_sums_to_100(self):
+        for year, shares in CVE_ROOT_CAUSES.items():
+            assert sum(shares) == pytest.approx(100.0)
+            assert len(shares) == len(CATEGORIES)
+
+    def test_thirteen_years(self):
+        assert sorted(CVE_ROOT_CAUSES) == list(range(2006, 2019))
+
+    def test_memory_safety_around_70_percent(self):
+        assert 65 <= average_memory_safety_share() <= 78
+
+    def test_breakdown_accessor(self):
+        year = breakdown(2018)
+        assert year.shares["Use After Free"] == 20.0
+        assert year.memory_safety_share == pytest.approx(74.0)
+
+
+class TestPatternClassifier:
+    @pytest.mark.parametrize("pattern", list(Pattern), ids=lambda p: p.value)
+    def test_table2_examples_classified(self, pattern):
+        assert classify(TABLE2_EXAMPLES[pattern]) is pattern
+
+    def test_short_sequences_default_sanely(self):
+        assert classify([5]) is Pattern.CONSTANT
+        assert classify([5, 5]) is Pattern.CONSTANT
+
+    def test_two_distinct_values_is_stride(self):
+        assert classify([5, 9]) is Pattern.STRIDE
+
+    def test_batched_arithmetic_cycle_is_batch_stride(self):
+        # Listing 1's shape: batches of one buffer, window strides, repeats.
+        seq = [11, 11, 11, 15, 15, 15, 19, 19, 19] * 3
+        assert classify(seq) is Pattern.BATCH_STRIDE
+
+    def test_profile_groups_by_pc(self):
+        trace = [(0x400000, 7)] * 8 + [(0x400100, pid) for pid in
+                                       (1, 2, 3, 4, 5, 6, 7)]
+        profile = profile_patterns(trace, min_events=6)
+        assert profile.per_pc[0x400000] is Pattern.CONSTANT
+        assert profile.per_pc[0x400100] is Pattern.STRIDE
+
+    def test_profile_skips_short_traces(self):
+        profile = profile_patterns([(0x400000, 1)], min_events=6)
+        assert profile.per_pc == {}
+        assert profile.dominant is None
+
+
+class TestAllocationProfiler:
+    def test_profile_reports_three_metrics(self):
+        profile = profile_workload(build("perlbench", 1),
+                                   max_instructions=200_000)
+        assert profile.total_allocations > 0
+        assert profile.max_live > 0
+        assert profile.intervals > 0
+        gaps = orders_of_magnitude_gaps(profile)
+        assert gaps["total_over_live"] >= 1.0
+
+
+class TestComparisonTable:
+    def test_prior_work_rows(self):
+        assert len(PRIOR_WORK) == 8
+        names = {row.proposal for row in PRIOR_WORK}
+        assert {"Hardbound", "Watchdog", "Intel MPX", "BOGO", "CHERI",
+                "CHERIvoke", "REST", "Califorms"} == names
+
+    def test_qualitative_claims_hold(self):
+        assert all(qualitative_claims().values())
+
+    def test_measured_row_formatting(self):
+        row = measured_chex86_row(13.7, 37.5)
+        assert "14%" in row.perf_average
+        assert row.binary_compat == "yes"
+
+    def test_full_table_appends_measured(self):
+        rows = full_table(measured_chex86_row(10, 20))
+        assert rows[-2] is PAPER_CHEX86
+        assert rows[-1].proposal.startswith("CHEx86 (this repro)")
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "-" in lines[2]
+        assert len({len(l) for l in lines[1:2]}) == 1
+
+    def test_bars_scale_to_peak(self):
+        text = render_bars({"a": 1.0, "b": 0.5}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 10
+        assert b_line.count("#") == 5
+
+    def test_bars_respect_explicit_max(self):
+        text = render_bars({"a": 0.5}, width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+    def test_grouped_bars(self):
+        text = render_grouped_bars({"g1": {"x": 1.0}, "g2": {"y": 2.0}})
+        assert "g1:" in text and "g2:" in text
+
+    def test_boolean_formatting(self):
+        text = render_table(["k", "v"], [["flag", True]])
+        assert "yes" in text

@@ -1,0 +1,153 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    Imm,
+    Mem,
+    Op,
+    Reg,
+    assemble,
+)
+
+
+def asm(text, **kwargs):
+    return assemble(text, **kwargs)
+
+
+class TestBasicParsing:
+    def test_simple_program(self):
+        program = asm("main:\n  mov rax, 5\n  halt\n")
+        assert len(program) == 2
+        assert program.instrs[0].op is Op.MOV
+        assert program.instrs[1].op is Op.HALT
+
+    def test_labels_map_to_slot_addresses(self):
+        program = asm("main:\n  nop\nloop:\n  jmp loop\n")
+        assert program.labels["loop"] == program.text_base + 4
+
+    def test_comments_stripped(self):
+        program = asm("main:\n  nop ; trailing comment\n  nop # another\n")
+        assert len(program) == 2
+
+    def test_entry_label_required(self):
+        with pytest.raises(ValueError):
+            asm("start:\n  halt\n")
+
+    def test_custom_entry_label(self):
+        program = asm("start:\n  halt\n", entry_label="start")
+        assert program.entry == program.text_base
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            asm("main:\n  frobnicate rax\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ValueError):
+            asm("main:\n  nop\nmain2:\n  nop\nmain2:\n  nop\n")
+
+
+class TestOperandParsing:
+    def test_register_operands(self):
+        program = asm("main:\n  mov rax, rbx\n")
+        assert program.instrs[0].operands == (Reg.RAX, Reg.RBX)
+
+    def test_immediate_decimal_and_hex(self):
+        program = asm("main:\n  mov rax, 10\n  mov rbx, 0x20\n")
+        assert program.instrs[0].operands[1] == Imm(10)
+        assert program.instrs[1].operands[1] == Imm(0x20)
+
+    def test_negative_immediate(self):
+        program = asm("main:\n  mov rax, -8\n")
+        assert program.instrs[0].operands[1] == Imm(-8)
+
+    def test_memory_base_only(self):
+        program = asm("main:\n  mov rax, [rbx]\n")
+        mem = program.instrs[0].operands[1]
+        assert mem == Mem(base=Reg.RBX)
+
+    def test_memory_full_form(self):
+        program = asm("main:\n  mov rax, [rbx + rcx*8 + 16]\n")
+        mem = program.instrs[0].operands[1]
+        assert mem.base is Reg.RBX
+        assert mem.index is Reg.RCX
+        assert mem.scale == 8
+        assert mem.disp == 16
+
+    def test_memory_negative_disp(self):
+        program = asm("main:\n  mov rax, [rbp - 8]\n")
+        assert program.instrs[0].operands[1].disp == -8
+
+    def test_memory_bad_scale(self):
+        with pytest.raises(AssemblyError):
+            asm("main:\n  mov rax, [rbx + rcx*3]\n")
+
+    def test_mem_to_mem_rejected(self):
+        with pytest.raises(AssemblyError):
+            asm("main:\n  mov [rax], [rbx]\n")
+
+    def test_store_immediate(self):
+        program = asm("main:\n  mov [rax], 7\n")
+        dst, src = program.instrs[0].operands
+        assert isinstance(dst, Mem) and src == Imm(7)
+
+
+class TestSymbolicDisplacement:
+    def test_symbol_in_memory_operand_resolves(self):
+        program = asm(".global table, 32\nmain:\n  mov rax, [table.addr]\n  halt\n")
+        mem = program.fetch(program.entry).operands[1]
+        pool = next(g for g in program.globals if g.pool_for == "table")
+        assert mem.disp == pool.address
+
+    def test_two_symbols_rejected(self):
+        with pytest.raises(AssemblyError):
+            asm(".global a, 8\n.global b, 8\nmain:\n  mov rax, [a.addr + b.addr]\n")
+
+
+class TestGlobalDirectives:
+    def test_global_creates_object_and_pool_slot(self):
+        program = asm(".global buf, 100\nmain:\n  halt\n")
+        names = [g.name for g in program.globals]
+        assert "buf" in names and "buf.addr" in names
+        pool = next(g for g in program.globals if g.name == "buf.addr")
+        buf = next(g for g in program.globals if g.name == "buf")
+        assert pool.init_words == (buf.address,)
+        assert pool.pool_for == "buf"
+        assert not pool.in_symbol_table
+
+    def test_hidden_global_has_no_pool_slot(self):
+        program = asm(".hidden secret, 64\nmain:\n  halt\n")
+        assert [g.name for g in program.globals] == ["secret"]
+        assert not program.globals[0].in_symbol_table
+
+    def test_globals_do_not_overlap(self):
+        program = asm(
+            ".global a, 24\n.global b, 8\n.global c, 100\nmain:\n  halt\n")
+        spans = sorted((g.address, g.end) for g in program.globals)
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            assert start >= prev_end
+
+    def test_init_words(self):
+        program = asm(".global v, 16, 1, 2\nmain:\n  halt\n")
+        obj = next(g for g in program.globals if g.name == "v")
+        assert obj.init_words == (1, 2)
+
+    def test_bad_directive(self):
+        with pytest.raises(AssemblyError):
+            asm(".globl x, 8\nmain:\n  halt\n")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AssemblyError):
+            asm(".global x, 0\nmain:\n  halt\n")
+
+
+class TestControlFlowResolution:
+    def test_forward_reference(self):
+        program = asm("main:\n  jmp done\n  nop\ndone:\n  halt\n")
+        resolved = program.fetch(program.entry)
+        assert resolved.operands[0] == Imm(program.labels["done"])
+
+    def test_undefined_symbol(self):
+        with pytest.raises(ValueError):
+            asm("main:\n  jmp nowhere\n")

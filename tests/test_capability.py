@@ -1,0 +1,174 @@
+"""Unit tests for capabilities and the shadow capability table."""
+
+import pytest
+
+from repro.core import (
+    CAPABILITY_BYTES,
+    Capability,
+    Perm,
+    ShadowCapabilityTable,
+    ViolationKind,
+    WILD_PID,
+)
+
+
+@pytest.fixture
+def table():
+    return ShadowCapabilityTable()
+
+
+def generate(table, base, size):
+    pid, violation = table.begin_generation(size)
+    assert violation is None
+    table.end_generation(pid, base)
+    return pid
+
+
+class TestCapability:
+    def test_contains(self):
+        cap = Capability(pid=1, base=0x1000, bounds=64, perms=Perm.RW | Perm.VALID)
+        assert cap.contains(0x1000, 8)
+        assert cap.contains(0x1038, 8)
+        assert not cap.contains(0x1040, 8)
+        assert not cap.contains(0xFF8, 8)
+
+    def test_bounds_field_is_32_bits(self):
+        with pytest.raises(ValueError):
+            Capability(pid=1, bounds=1 << 32)
+
+    def test_busy_valid_setters(self):
+        cap = Capability(pid=1)
+        cap.busy = True
+        cap.valid = True
+        assert cap.busy and cap.valid
+        cap.busy = False
+        assert not cap.busy and cap.valid
+
+
+class TestTwoStepGeneration:
+    def test_begin_sets_busy_and_bounds(self, table):
+        pid, _ = table.begin_generation(128)
+        cap = table.get(pid)
+        assert cap.busy and not cap.valid
+        assert cap.bounds == 128
+
+    def test_end_finalizes(self, table):
+        pid, _ = table.begin_generation(128)
+        table.end_generation(pid, 0x5000)
+        cap = table.get(pid)
+        assert not cap.busy and cap.valid
+        assert cap.base == 0x5000
+
+    def test_failed_allocation_stays_invalid(self, table):
+        pid, _ = table.begin_generation(128)
+        table.end_generation(pid, 0)  # malloc returned NULL
+        assert not table.get(pid).valid
+
+    def test_pids_unique_and_nonzero(self, table):
+        pids = [table.begin_generation(8)[0] for _ in range(100)]
+        assert len(set(pids)) == 100
+        assert all(p > 0 for p in pids)
+
+    def test_oversized_request_flags_heap_spray(self, table):
+        _, violation = table.begin_generation(2 << 30)
+        assert violation is not None
+        assert violation.kind is ViolationKind.HEAP_SPRAY
+
+    def test_negative_request_flags_heap_spray(self, table):
+        _, violation = table.begin_generation(-1)
+        assert violation.kind is ViolationKind.HEAP_SPRAY
+
+
+class TestChecks:
+    def test_in_bounds_passes(self, table):
+        pid = generate(table, 0x1000, 64)
+        assert table.check(pid, 0x1000, 8) is None
+        assert table.check(pid, 0x1038, 8) is None
+
+    def test_out_of_bounds(self, table):
+        pid = generate(table, 0x1000, 64)
+        violation = table.check(pid, 0x1040, 8)
+        assert violation.kind is ViolationKind.OUT_OF_BOUNDS
+
+    def test_below_base(self, table):
+        pid = generate(table, 0x1000, 64)
+        assert table.check(pid, 0xFF8, 8).kind is ViolationKind.OUT_OF_BOUNDS
+
+    def test_use_after_free(self, table):
+        pid = generate(table, 0x1000, 64)
+        assert table.begin_free(pid) is None
+        table.end_free(pid)
+        violation = table.check(pid, 0x1000, 8)
+        assert violation.kind is ViolationKind.USE_AFTER_FREE
+
+    def test_unknown_pid_is_wild(self, table):
+        assert table.check(12345, 0x1000).kind is ViolationKind.WILD_DEREFERENCE
+        assert table.check(WILD_PID, 0x1000).kind is ViolationKind.WILD_DEREFERENCE
+
+    def test_write_to_readonly(self, table):
+        pid, _ = table.begin_generation(64)
+        table.end_generation(pid, 0x1000)
+        table.get(pid).perms &= ~Perm.WRITE
+        assert table.check(pid, 0x1000, write=True).kind is ViolationKind.PERMISSION
+        assert table.check(pid, 0x1000, write=False) is None
+
+
+class TestFreeProtocol:
+    def test_double_free_detected(self, table):
+        pid = generate(table, 0x1000, 64)
+        table.begin_free(pid)
+        table.end_free(pid)
+        violation = table.begin_free(pid)
+        assert violation.kind is ViolationKind.DOUBLE_FREE
+
+    def test_invalid_free_zero_pid(self, table):
+        assert table.begin_free(0).kind is ViolationKind.INVALID_FREE
+
+    def test_invalid_free_wild_pid(self, table):
+        assert table.begin_free(WILD_PID).kind is ViolationKind.INVALID_FREE
+
+    def test_freed_capability_stays_resident(self, table):
+        pid = generate(table, 0x1000, 64)
+        table.begin_free(pid)
+        table.end_free(pid)
+        assert pid in table
+        assert table.stats.freed == 1
+
+
+class TestAddressSearch:
+    def test_find_by_address(self, table):
+        pid = generate(table, 0x1000, 64)
+        generate(table, 0x2000, 64)
+        assert table.find_by_address(0x1020).pid == pid
+        assert table.find_by_address(0x1800) is None
+
+    def test_find_skips_freed(self, table):
+        pid = generate(table, 0x1000, 64)
+        table.begin_free(pid)
+        table.end_free(pid)
+        assert table.find_by_address(0x1020) is None
+
+    def test_find_any_includes_freed(self, table):
+        pid = generate(table, 0x1000, 64)
+        table.begin_free(pid)
+        table.end_free(pid)
+        assert table.find_any_by_address(0x1020).pid == pid
+
+    def test_find_any_prefers_live_reuse(self, table):
+        old = generate(table, 0x1000, 64)
+        table.begin_free(old)
+        table.end_free(old)
+        new = generate(table, 0x1000, 64)  # allocator reused the chunk
+        assert table.find_any_by_address(0x1010).pid == new
+
+
+class TestStorageAccounting:
+    def test_shadow_bytes(self, table):
+        for i in range(10):
+            generate(table, 0x1000 + i * 0x100, 16)
+        assert table.shadow_bytes == 10 * CAPABILITY_BYTES
+
+    def test_register_global(self, table):
+        pid = table.register_global(0x600000, 256)
+        cap = table.get(pid)
+        assert cap.valid and cap.base == 0x600000 and cap.bounds == 256

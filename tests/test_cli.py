@@ -1,0 +1,99 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.heap import heap_library_asm
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+main:
+    mov rdi, 64
+    call malloc
+    mov [rax], 7
+    halt
+""")
+    return str(path)
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "bug.s"
+    path.write_text("""
+main:
+    mov rdi, 64
+    call malloc
+    mov [rax + 64], 7
+    halt
+""")
+    return str(path)
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (["list"], ["run", "x.s"], ["workload", "mcf"],
+                     ["figure", "3"], ["table", "2"], ["security"]):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "mcf",
+                                       "--variant", "nonsense"])
+
+    def test_bad_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "not-a-benchmark"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "ucode-prediction" in out
+
+    def test_run_clean_program(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "violations" in out
+
+    def test_run_buggy_program_nonzero_exit(self, buggy_file, capsys):
+        assert main(["run", buggy_file, "--trap"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "out-of-bounds" in out
+
+    def test_run_appends_heap_library_once(self, tmp_path, capsys):
+        path = tmp_path / "own.s"
+        path.write_text("main:\n    mov rax, 1\n    halt\n"
+                        + heap_library_asm())
+        assert main(["run", str(path)]) == 0
+
+    def test_workload(self, capsys):
+        assert main(["workload", "lbm"]) == 0
+        out = capsys.readouterr().out
+        assert "capability$" in out and "bandwidth" in out
+
+    def test_table_3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_security_subsampled(self, capsys):
+        assert main(["security", "--ripe-limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "How2Heap" in out
+
+
+class TestTranslateFlag:
+    def test_run_translate_detects_via_explicit_checks(self, buggy_file,
+                                                       capsys):
+        assert main(["run", buggy_file, "--translate", "--trap"]) == 1
+        out = capsys.readouterr().out
+        assert "binary translation:" in out
+        assert "out-of-bounds" in out

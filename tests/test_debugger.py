@@ -1,0 +1,81 @@
+"""Tests for the interactive debugger REPL."""
+
+import pytest
+
+from repro.core import Variant
+from repro.debugger import Debugger, debug_program
+from repro.heap import heap_library_asm
+from repro.isa import assemble
+
+SOURCE = """
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov [rbx + 72], 1
+    halt
+""" + heap_library_asm()
+
+
+def run_session(commands, source=SOURCE,
+                variant=Variant.UCODE_PREDICTION):
+    output = []
+    program = assemble(source, name="dbg")
+    debugger = debug_program(program, variant=variant,
+                             lines=commands, write=output.append)
+    return debugger, "\n".join(output)
+
+
+class TestReplCommands:
+    def test_banner_and_initial_disasm(self):
+        _, out = run_session(["q"])
+        assert "chex86-dbg" in out
+        assert "=> 0x400000" in out
+
+    def test_step_advances(self):
+        debugger, out = run_session(["step 2", "q"])
+        assert debugger.machine.instructions == 2
+        assert "stepped 2 instruction(s)" in out
+
+    def test_empty_line_repeats_step(self):
+        debugger, _ = run_session(["step 1", "", "", "q"])
+        assert debugger.machine.instructions == 3
+
+    def test_regs_shows_pid_tags(self):
+        _, out = run_session(["step 5", "regs", "q"])
+        assert "rax=" in out
+        assert "[pid 1]" in out  # malloc's result carries its capability
+
+    def test_continue_reports_violation(self):
+        _, out = run_session(["continue", "q"])
+        assert "1 violation(s)" in out
+        assert "OUT-OF-BOUNDS" in out  # `why` auto-invoked
+
+    def test_caps_lists_capabilities(self):
+        _, out = run_session(["step 5", "caps", "q"])
+        assert "cap[1]" in out
+
+    def test_mem_dump(self):
+        _, out = run_session(["step 5", "mem 0x10000000 2", "q"])
+        assert "0x10000000:" in out
+        assert "0x10000008:" in out
+
+    def test_stats_and_aliases(self):
+        _, out = run_session(["step 5", "stats", "aliases", "q"])
+        assert "capability$" in out
+        assert "spilled-pointer aliases" in out
+
+    def test_unknown_command_is_survivable(self):
+        debugger, out = run_session(["frobnicate", "step 1", "q"])
+        assert "unknown command" in out
+        assert debugger.machine.instructions >= 1
+
+    def test_bad_argument_is_survivable(self):
+        _, out = run_session(["mem zzz", "q"])
+        assert "error:" in out
+
+    def test_halt_is_announced(self):
+        _, out = run_session(["continue", "q"],
+                             source="main:\n    halt\n"
+                                    + heap_library_asm())
+        assert "(machine halted)" in out

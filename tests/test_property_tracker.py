@@ -1,0 +1,104 @@
+"""Property-based tests for tracker speculation and the reload predictor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PointerReloadPredictor, RuleDatabase, SpeculativePointerTracker
+
+regs = st.integers(min_value=0, max_value=15)
+pids = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestTrackerSpeculationProperties:
+    @given(st.lists(st.tuples(regs, pids), min_size=1, max_size=60))
+    def test_commit_all_equals_architectural_replay(self, writes):
+        """Committing everything must equal a non-speculative replay."""
+        tracker = SpeculativePointerTracker(RuleDatabase.table1())
+        replay = {}
+        for seq, (reg, pid) in enumerate(writes, start=1):
+            tracker.set_pid(reg, pid, seq)
+            replay[reg] = pid
+        tracker.commit(len(writes))
+        for reg, pid in replay.items():
+            assert tracker.committed_pid(reg) == pid
+
+    @given(st.lists(st.tuples(regs, pids), min_size=2, max_size=60),
+           st.data())
+    def test_squash_restores_prefix_state(self, writes, data):
+        """Squashing at seq K must leave exactly the state of the first K
+        writes — the paper's recovery invariant."""
+        cut = data.draw(st.integers(min_value=1, max_value=len(writes)))
+        tracker = SpeculativePointerTracker(RuleDatabase.table1())
+        for seq, (reg, pid) in enumerate(writes, start=1):
+            tracker.set_pid(reg, pid, seq)
+        tracker.squash(cut)
+        prefix = {}
+        for seq, (reg, pid) in enumerate(writes, start=1):
+            if seq <= cut:
+                prefix[reg] = pid
+        for reg in range(16):
+            assert tracker.current_pid(reg) == prefix.get(reg, 0)
+
+    @given(st.lists(st.tuples(regs, pids), min_size=2, max_size=40),
+           st.data())
+    def test_interleaved_commit_squash_never_resurrects(self, writes, data):
+        cut = data.draw(st.integers(min_value=1, max_value=len(writes)))
+        commit_point = data.draw(st.integers(min_value=0, max_value=cut))
+        tracker = SpeculativePointerTracker(RuleDatabase.table1())
+        for seq, (reg, pid) in enumerate(writes, start=1):
+            tracker.set_pid(reg, pid, seq)
+        tracker.commit(commit_point)
+        tracker.squash(cut)
+        # Nothing younger than the squash point may be visible.
+        visible = {}
+        for seq, (reg, pid) in enumerate(writes, start=1):
+            if seq <= cut:
+                visible[reg] = pid
+        for reg in range(16):
+            assert tracker.current_pid(reg) == visible.get(reg, 0)
+
+
+class TestPredictorProperties:
+    @given(pid=st.integers(1, 1 << 20), reps=st.integers(4, 30))
+    def test_constant_sequences_converge(self, pid, reps):
+        predictor = PointerReloadPredictor()
+        pc = 0x400100
+        for _ in range(reps):
+            predicted = predictor.predict(pc)
+            predictor.update(pc, predicted, pid)
+        assert predictor.predict(pc) == pid
+
+    @given(start=st.integers(1, 1000), stride=st.integers(1, 50),
+           length=st.integers(8, 40))
+    def test_arithmetic_sequences_converge(self, start, stride, length):
+        predictor = PointerReloadPredictor()
+        pc = 0x400200
+        correct_tail = 0
+        for i in range(length):
+            actual = start + i * stride
+            predicted = predictor.predict(pc)
+            if predicted == actual and i >= length // 2:
+                correct_tail += 1
+            predictor.update(pc, predicted, actual)
+        assert correct_tail >= (length - length // 2) - 3  # converged
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=100))
+    def test_stats_always_consistent(self, sequence):
+        predictor = PointerReloadPredictor()
+        pc = 0x400300
+        for actual in sequence:
+            predicted = predictor.predict(pc)
+            predictor.update(pc, predicted, actual)
+        stats = predictor.stats
+        assert stats.correct + stats.mispredictions == len(sequence)
+        assert 0.0 <= stats.accuracy <= 1.0
+
+    @given(st.integers(3, 12))
+    def test_blacklist_settles_for_pure_data_loads(self, reps):
+        predictor = PointerReloadPredictor()
+        pc = 0x400400
+        for _ in range(reps):
+            predicted = predictor.predict(pc)
+            predictor.update(pc, predicted, 0)
+        assert predictor.is_blacklisted(pc)
+        assert predictor.predict(pc) == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the Table I pointer-tracking rule database."""
+
+import pytest
+
+from repro.core import MEMORY_POLICY, Propagation, Rule, RuleDatabase, WILD_PID
+from repro.microop import AddrMode, AluOp, Uop, UopKind
+
+
+def uop(kind, alu=None, mode=AddrMode.REG_REG, srcs=(), dst=0):
+    return Uop(kind, alu=alu, addr_mode=mode, srcs=srcs, dst=dst)
+
+
+@pytest.fixture
+def db():
+    return RuleDatabase.table1()
+
+
+class TestTable1Propagation:
+    def test_mov_copies_pid(self, db):
+        assert db.propagate(uop(UopKind.MOV), (5,)) == 5
+
+    def test_add_rr_takes_nonzero_source(self, db):
+        add = uop(UopKind.ALU, AluOp.ADD)
+        assert db.propagate(add, (0, 7)) == 7
+        assert db.propagate(add, (7, 0)) == 7
+
+    def test_add_rr_wild_loses_to_real_pid(self, db):
+        add = uop(UopKind.ALU, AluOp.ADD)
+        assert db.propagate(add, (WILD_PID, 7)) == 7
+        assert db.propagate(add, (7, WILD_PID)) == 7
+
+    def test_add_ri_keeps_source(self, db):
+        add = uop(UopKind.ALU, AluOp.ADD, AddrMode.REG_IMM)
+        assert db.propagate(add, (9,)) == 9
+
+    def test_sub_always_first_source(self, db):
+        sub = uop(UopKind.ALU, AluOp.SUB)
+        assert db.propagate(sub, (3, 8)) == 3  # ptr - ptr keeps the minuend
+
+    def test_and_masks_keep_pointer(self, db):
+        and_rr = uop(UopKind.ALU, AluOp.AND)
+        assert db.propagate(and_rr, (4, 0)) == 4
+        and_ri = uop(UopKind.ALU, AluOp.AND, AddrMode.REG_IMM)
+        assert db.propagate(and_ri, (4,)) == 4
+
+    def test_lea_takes_base_register(self, db):
+        lea = uop(UopKind.LEA)
+        assert db.propagate(lea, (), base_pid=6) == 6
+
+    def test_movi_is_wild(self, db):
+        assert db.propagate(uop(UopKind.LIMM, mode=AddrMode.REG_IMM), ()) == WILD_PID
+
+    def test_loads_and_stores_defer_to_memory(self, db):
+        assert db.propagate(uop(UopKind.LD, mode=AddrMode.REG_MEM), ()) is MEMORY_POLICY
+        assert db.propagate(uop(UopKind.ST, mode=AddrMode.REG_MEM), (5,)) is MEMORY_POLICY
+
+    def test_other_ops_zero_the_pid(self, db):
+        xor = uop(UopKind.ALU, AluOp.XOR)
+        assert db.propagate(xor, (5, 5)) == 0
+        mul = uop(UopKind.ALU, AluOp.MUL)
+        assert db.propagate(mul, (5, 2)) == 0
+
+
+class TestConfigurability:
+    def test_seed_is_small(self):
+        assert len(RuleDatabase.seed()) == 3
+
+    def test_add_records_field_update(self):
+        db = RuleDatabase.seed()
+        rule = Rule("test-or", UopKind.ALU, Propagation.NONZERO_SRC, alu=AluOp.OR)
+        db.add(rule)
+        assert "test-or" in db.field_updates
+        assert db.propagate(uop(UopKind.ALU, AluOp.OR), (0, 3)) == 3
+
+    def test_duplicate_add_rejected(self):
+        db = RuleDatabase.table1()
+        with pytest.raises(ValueError):
+            db.add(Rule("mov-again", UopKind.MOV, Propagation.COPY_SRC,
+                        addr_mode=AddrMode.REG_REG))
+
+    def test_remove_rule(self):
+        db = RuleDatabase.table1()
+        db.remove("movi")
+        assert db.propagate(uop(UopKind.LIMM, mode=AddrMode.REG_IMM), ()) == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            RuleDatabase.table1().remove("no-such-rule")
+
+    def test_memo_invalidated_on_add(self):
+        db = RuleDatabase.seed()
+        or_uop = uop(UopKind.ALU, AluOp.OR)
+        assert db.propagate(or_uop, (0, 3)) == 0  # memoized default
+        db.add(Rule("or-rr", UopKind.ALU, Propagation.NONZERO_SRC, alu=AluOp.OR))
+        assert db.propagate(or_uop, (0, 3)) == 3
+
+
+class TestReporting:
+    def test_table_rows_cover_all_rules_plus_default(self):
+        db = RuleDatabase.table1()
+        rows = db.to_rows()
+        assert len(rows) == len(db) + 1
+        assert rows[-1]["uop"] == "all other operations"
+
+    def test_learned_rules_marked(self):
+        rows = RuleDatabase.table1().to_rows()
+        by_name = {(r["uop"], r["addr_mode"]): r["learned"] for r in rows}
+        assert by_name[("mov", "reg-reg")] is False  # expert seed
+        assert by_name[("ld", "any")] is True        # checker-learned

@@ -1,0 +1,92 @@
+"""Tests for the SimPoint-style region selection."""
+
+import pytest
+
+from repro.analysis.simpoint import (
+    SimPointSelection,
+    SimulationPoint,
+    profile_bbvs,
+    select,
+    select_for,
+)
+from repro.workloads import build
+
+
+def phased_vectors(phase_a=10, phase_b=10):
+    """Synthetic BBVs with two obvious phases touching disjoint blocks."""
+    vectors = []
+    for _ in range(phase_a):
+        vectors.append({0: 50, 1: 50})
+    for _ in range(phase_b):
+        vectors.append({10: 80, 11: 20})
+    return vectors
+
+
+class TestSelection:
+    def test_two_phases_need_two_points(self):
+        selection = select(phased_vectors(), max_k=2)
+        assert len(selection.points) == 2
+        assert selection.coverage == pytest.approx(1.0)
+
+    def test_phase_weights_match_populations(self):
+        selection = select(phased_vectors(phase_a=15, phase_b=5), max_k=2)
+        weights = sorted(point.weight for point in selection.points)
+        assert weights == pytest.approx([0.25, 0.75])
+
+    def test_representatives_come_from_their_phase(self):
+        selection = select(phased_vectors(), max_k=2)
+        intervals = sorted(point.interval for point in selection.points)
+        assert intervals[0] < 10 <= intervals[1]
+
+    def test_uniform_run_collapses_to_one_cluster_estimate(self):
+        vectors = [{0: 100, 1: 3}] * 12
+        selection = select(vectors, max_k=4)
+        assert selection.coverage == pytest.approx(1.0)
+        # All intervals identical: the estimate is exact whatever k found.
+        metric = [2.5] * 12
+        assert selection.estimate(metric) == pytest.approx(2.5)
+
+    def test_estimate_is_population_weighted(self):
+        selection = select(phased_vectors(phase_a=10, phase_b=10), max_k=2)
+        metric = [1.0] * 10 + [3.0] * 10  # per-interval IPC, say
+        assert selection.estimate(metric) == pytest.approx(2.0)
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            select([])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            SimulationPoint(interval=0, weight=0.0)
+
+
+class TestProfilingPipeline:
+    def test_bbv_collection_on_a_workload(self):
+        vectors, machine = profile_bbvs(build("perlbench", 1), interval=500)
+        assert len(vectors) >= 2
+        assert sum(sum(v.values()) for v in vectors) == machine.instructions
+
+    def test_select_for_covers_the_run(self):
+        selection = select_for(build("perlbench", 1), interval=500, max_k=6)
+        assert 1 <= len(selection.points) <= 6
+        assert selection.coverage == pytest.approx(1.0)
+        assert all(0 <= p.interval < selection.intervals
+                   for p in selection.points)
+
+    def test_phased_workload_estimate_tracks_full_run(self):
+        """The SimPoint estimate of 'pointer-activity per interval' must
+        be close to the true full-run average."""
+        vectors, machine = profile_bbvs(build("gcc", 1), interval=500)
+        selection = select(vectors, max_k=8)
+        # Metric: fraction of the interval spent in the front half of the
+        # program text (an arbitrary but phase-correlated quantity).
+        metric = []
+        for vector in vectors:
+            total = sum(vector.values())
+            front = sum(c for idx, c in vector.items() if idx < 100)
+            metric.append(front / total if total else 0.0)
+        true_average = sum(
+            m * sum(v.values()) for m, v in zip(metric, vectors)
+        ) / sum(sum(v.values()) for v in vectors)
+        estimate = selection.estimate(metric)
+        assert abs(estimate - true_average) < 0.15

@@ -1,0 +1,76 @@
+"""Unit tests for the shared System and its coherence machinery."""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.isa import assemble
+from repro.pipeline.system import System
+
+from conftest import assemble_main
+
+
+class TestSystemComposition:
+    def test_shared_components_exist(self):
+        system = System()
+        assert system.memory is not None
+        assert system.allocator.memory is system.memory
+        assert system.captable is not None
+        assert system.alias_table is not None
+        assert system.l2 is not None
+
+    def test_core_registration_assigns_ids(self):
+        system = System()
+        program = assemble_main("    nop")
+        a = Chex86Machine(program, system=system)
+        b = Chex86Machine(program, system=system)
+        assert (a.core_id, b.core_id) == (0, 1)
+        assert system.cores == [a, b]
+
+    def test_shadow_bytes_aggregates(self):
+        system = System()
+        system.captable.register_global(0x1000, 64)
+        system.alias_table.set(0x2000, 1)
+        assert system.shadow_bytes == (system.captable.shadow_bytes
+                                       + system.alias_table.shadow_bytes)
+
+
+class TestInvalidationBroadcast:
+    def setup_pair(self):
+        system = System()
+        program = assemble_main("    nop")
+        a = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                          system=system)
+        b = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                          system=system)
+        return system, a, b
+
+    def test_cap_invalidate_reaches_peers_only(self):
+        system, a, b = self.setup_pair()
+        a.capcache.access(7)
+        b.capcache.access(7)
+        system.broadcast_cap_invalidate(7, origin_core=a.core_id)
+        assert a.capcache.probe(7)      # origin keeps its copy
+        assert not b.capcache.probe(7)  # peer invalidated
+        assert system.coherence.cap_invalidate_messages == 1
+        assert system.coherence.cap_invalidate_hits == 1
+
+    def test_alias_invalidate_reaches_peers(self):
+        system, a, b = self.setup_pair()
+        b.alias_cache.install(0x3000, 9)
+        system.broadcast_alias_invalidate(0x3000, origin_core=a.core_id)
+        assert b.alias_cache.cache.lookup(0x3000) is None
+        assert system.coherence.alias_invalidate_hits == 1
+
+    def test_misses_counted_but_harmless(self):
+        system, a, b = self.setup_pair()
+        system.broadcast_cap_invalidate(42, origin_core=a.core_id)
+        assert system.coherence.cap_invalidate_messages == 1
+        assert system.coherence.cap_invalidate_hits == 0
+
+    def test_single_core_broadcast_is_noop(self):
+        system = System()
+        program = assemble_main("    nop")
+        Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                      system=system)
+        system.broadcast_cap_invalidate(1, origin_core=0)
+        assert system.coherence.cap_invalidate_messages == 0

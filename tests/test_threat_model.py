@@ -1,0 +1,135 @@
+"""Threat-model boundary tests: what CHEx86 is — and is not — meant to catch.
+
+Section III scopes the protection to object-granular temporal and spatial
+safety in the heap and global data section.  These tests pin the boundary:
+the in-scope cases must flag, and the explicitly out-of-scope cases must
+*not* (silently "fixing" them would mean we built a different system).
+"""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant, ViolationKind
+from repro.isa import Reg
+
+from conftest import assemble_main, run_program
+
+
+class TestInScope:
+    def test_heap_object_granularity(self):
+        """Overflow from one heap object into its neighbour: flagged."""
+        result = run_program("""
+            mov rdi, 32
+            call malloc
+            mov rbx, rax
+            mov rdi, 32
+            call malloc
+            mov [rbx + 48], 1
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_global_data_section_protected(self):
+        result = run_program("""
+            mov rbx, [buf.addr]
+            mov rcx, [rbx + 40]
+        """, globals_asm=".global buf, 40\n")
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1
+
+    def test_temporal_safety_is_permanent(self):
+        """Use-after-free is caught even after the chunk is reused —
+        the capability approach does not depend on quarantine distance."""
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, rax
+            mov rdi, rax
+            call free
+            mov rdi, 64
+            call malloc
+            mov rcx, [rbx]
+        """)
+        assert result.violations.count(ViolationKind.USE_AFTER_FREE) == 1
+
+
+class TestOutOfScope:
+    def test_intra_object_overflow_not_flagged(self):
+        """'Our threat model does not yet include attacks that exploit
+        intra-object spatial errors (e.g., overflowing into an adjacent
+        field within a struct).'"""
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            ; struct { char name[16]; int privileged; } at rax:
+            mov [rax], 0x41414141
+            mov [rax + 8], 0x41414141
+            mov [rax + 16], 1       ; 'overflow' of name into privileged
+            mov rbx, [rax + 16]
+        """)
+        assert not result.flagged
+
+    def test_stack_buffers_untracked(self):
+        """Stack allocations have no capabilities; stray stack accesses
+        pass (the paper's granularity covers heap + global data)."""
+        result = run_program("""
+            mov rbx, rsp
+            sub rbx, 256
+            mov [rbx + 512], 1      ; wild-ish stack write
+        """)
+        assert not result.flagged
+
+    def test_unregistered_allocator_not_tracked(self):
+        """Memory from an unregistered allocation path (here: a raw
+        pointer into the heap region that never went through malloc) is
+        not of interest — no capability, no check."""
+        program = assemble_main("""
+            mov rbx, [pool.addr]
+            mov rbx, [rbx]          ; reload pointer stored by host below
+            mov rcx, [rbx + 8]
+        """, globals_asm=".global pool, 16\n")
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        # Simulate an unregistered allocator handing out memory: plant a
+        # raw heap pointer in the pool slot before running.
+        pool = next(g for g in program.globals if g.name == "pool")
+        machine.memory.poke_word(pool.address, 0x1500_0000)
+        result = machine.run()
+        assert not result.flagged
+
+
+class TestSpectreV1Argument:
+    """Section III: the capability check is part of the same macro-op as
+    the dereference, so a Spectre-v1 gadget cannot bypass it the way it
+    bypasses a software bounds check — the check is injected at *decode*,
+    before the branch outcome is known."""
+
+    def test_checks_injected_regardless_of_branch_direction(self):
+        # A bounds-checked dereference: the software check would be the
+        # cmp/jae; CHEx86's capCheck is attached to the load itself.
+        program = assemble_main("""
+            mov rdi, 64
+            call malloc
+            mov rbx, rax
+            mov rcx, 4              ; in-bounds index
+            cmp rcx, 8
+            jae skip
+            mov rdx, [rbx + rcx*8]  ; the gadget load
+        skip:
+            nop
+        """)
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.run()
+        # The dereference got its capability check (injected at decode).
+        assert machine.mcu.stats.capchecks >= 1
+
+    def test_oob_index_trapped_by_capability_not_software_check(self):
+        """Even with the software bounds check *removed* (the Spectre
+        scenario is equivalent to it being bypassed), the capability check
+        fires."""
+        result = run_program("""
+            mov rdi, 64
+            call malloc
+            mov rbx, rax
+            mov rcx, 40             ; attacker-controlled index, way out
+            mov rdx, [rbx + rcx*8]
+        """)
+        assert result.violations.count(ViolationKind.OUT_OF_BOUNDS) == 1

@@ -1,0 +1,170 @@
+"""Unit tests for the scoreboard timing model."""
+
+import pytest
+
+from repro.memory import SetAssocCache
+from repro.microop.uops import NUM_UREGS
+from repro.pipeline.config import DEFAULT_CONFIG
+from repro.pipeline.timing import FuType, TimingModel
+
+
+def make_timing(config=DEFAULT_CONFIG):
+    l2 = SetAssocCache(config.l2_bytes // config.line_bytes, config.l2_ways,
+                       config.line_bytes.bit_length() - 1, name="l2")
+    return TimingModel(config, l2)
+
+
+class TestScheduling:
+    def test_dependency_chain_serializes(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        first = timing.schedule((), 0, latency=5)
+        second = timing.schedule((0,), 1, latency=1)
+        assert second >= first + 1
+
+    def test_independent_ops_overlap(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        a = timing.schedule((), 0, latency=10)
+        b = timing.schedule((), 1, latency=10)
+        assert abs(a - b) < 10  # not serialized behind each other
+
+    def test_flags_dependency(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        producer = timing.schedule((), 0, latency=7, writes_flags=True)
+        consumer = timing.schedule((), None, latency=1, reads_flags=True)
+        assert consumer >= producer + 1
+
+    def test_unpipelined_unit_backs_up(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        first = timing.schedule((), None, latency=3, fu=FuType.MULT,
+                                occupancy=3)
+        second = timing.schedule((), None, latency=3, fu=FuType.MULT,
+                                 occupancy=3)
+        assert second >= first + 3
+
+    def test_issue_width_limits_per_cycle(self):
+        config = DEFAULT_CONFIG.with_(issue_width=2)
+        timing = make_timing(config)
+        timing.begin_macro(0x400000)
+        done = [timing.schedule((), None, latency=1) for _ in range(8)]
+        # 8 single-cycle uops through a 2-wide issue: at least 4 cycles span.
+        assert max(done) - min(done) >= 3
+
+    def test_finish_reports_cycles(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        timing.schedule((), 0, latency=4)
+        stats = timing.finish()
+        assert stats.cycles > 0
+        assert stats.uops == 1
+
+
+class TestMemoryHierarchy:
+    def test_l1_hit_after_miss(self):
+        timing = make_timing()
+        cold = timing.mem_access(0x10000, is_store=False)
+        warm = timing.mem_access(0x10000, is_store=False)
+        assert cold > warm
+        assert warm == DEFAULT_CONFIG.l1_latency
+        assert timing.stats.l1d_misses == 1
+
+    def test_l2_hit_cheaper_than_dram(self):
+        timing = make_timing()
+        dram = timing.mem_access(0x10000, is_store=False)
+        # Evict from L1 by filling its set, keeping L2 resident.
+        for i in range(1, 20):
+            timing.mem_access(0x10000 + i * DEFAULT_CONFIG.l1d_bytes, False)
+        l2_hit = timing.mem_access(0x10000, is_store=False)
+        assert DEFAULT_CONFIG.l1_latency < l2_hit < dram
+
+    def test_dram_traffic_counted(self):
+        timing = make_timing()
+        timing.mem_access(0x20000, is_store=False)
+        assert timing.stats.dram_bytes == DEFAULT_CONFIG.line_bytes
+
+    def test_shadow_traffic_separate(self):
+        timing = make_timing()
+        timing.shadow_access(10, 16)
+        assert timing.stats.shadow_dram_bytes == 16
+        assert timing.stats.dram_bytes == 0
+
+    def test_bandwidth_metric(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        timing.mem_access(0x20000, is_store=False)
+        timing.schedule((), 0, latency=1)
+        stats = timing.finish()
+        assert stats.bandwidth_mb_per_s(3.4) > 0
+
+
+class TestFrontEnd:
+    def test_fetch_groups_advance(self):
+        timing = make_timing()
+        for i in range(12):
+            timing.begin_macro(0x400000 + 4 * i)
+        # 12 macro-ops / 4-wide fetch = at least 3 groups.
+        assert timing.stats.fetch_groups >= 3
+
+    def test_msrom_consumes_group(self):
+        plain = make_timing()
+        for i in range(8):
+            plain.begin_macro(0x400000 + 4 * i)
+        msrom = make_timing()
+        for i in range(8):
+            msrom.begin_macro(0x400000 + 4 * i, msrom=True)
+        assert msrom.stats.fetch_groups > plain.stats.fetch_groups
+
+    def test_bt_fetch_slots_tax(self):
+        narrow = make_timing()
+        for i in range(16):
+            narrow.begin_macro(0x400000 + 4 * i, fetch_slots=2)
+        wide = make_timing()
+        for i in range(16):
+            wide.begin_macro(0x400000 + 4 * i, fetch_slots=1)
+        assert narrow.stats.fetch_groups > wide.stats.fetch_groups
+
+    def test_redirect_accounts_squash(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        done = timing.schedule((), None, latency=1)
+        timing.redirect(done, penalty=15)
+        assert timing.stats.squash_cycles >= 15
+        assert timing.stats.branch_squash_cycles >= 15
+
+    def test_alias_redirect_tagged(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        done = timing.schedule((), None, latency=1)
+        timing.redirect(done, penalty=15, alias=True)
+        assert timing.stats.alias_squash_cycles >= 15
+
+
+class TestRoutineCall:
+    def test_routine_produces_result_later(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        done = timing.routine_call(90, srcs=(), dst=0)
+        dependent = timing.schedule((0,), 1, latency=1)
+        assert dependent > done - 1
+        assert timing.stats.hostop_cycles == 45
+
+    def test_routine_does_not_drain_pipe(self):
+        timing = make_timing()
+        timing.begin_macro(0x400000)
+        slow = timing.schedule((), 2, latency=200)
+        timing.routine_call(90, srcs=(), dst=0)
+        independent = timing.schedule((), 3, latency=1)
+        # Work not depending on the routine finishes before the slow chain.
+        assert independent < slow
+
+    def test_occupy_reserves_unit(self):
+        timing = make_timing()
+        start1 = timing.occupy(FuType.WALKER, 10, 30)
+        start2 = timing.occupy(FuType.WALKER, 10, 30)
+        start3 = timing.occupy(FuType.WALKER, 10, 30)
+        # Two walkers: the third walk waits for a unit.
+        assert start1 == 10 and start2 == 10
+        assert start3 >= 40

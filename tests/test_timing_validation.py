@@ -1,0 +1,154 @@
+"""Timing-model validation: microbenchmarks with known-by-hand costs.
+
+Each microbenchmark has an analytically computable cycle count on the
+Table III machine; the model must land within tolerance.  This is the
+classic way to validate an approximate performance model — if these hold,
+the relative comparisons of Figures 6-9 stand on calibrated ground.
+"""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.pipeline.config import DEFAULT_CONFIG
+
+from conftest import assemble_main
+
+
+def cycles_of(body: str, variant=Variant.INSECURE) -> int:
+    machine = Chex86Machine(assemble_main(body), variant=variant)
+    return machine.run().cycles
+
+
+def loop(body_lines, iters, counter="r9"):
+    lines = [f"    mov {counter}, 0", "top:"]
+    lines += [f"    {line}" for line in body_lines]
+    lines += [f"    add {counter}, 1",
+              f"    cmp {counter}, {iters}",
+              "    jl top"]
+    return "\n".join(lines)
+
+
+class TestDependencyLimits:
+    def test_serial_add_chain_is_one_per_cycle(self):
+        """N dependent 1-cycle adds take ~N cycles (dataflow limit)."""
+        n = 400
+        body = "    mov rax, 0\n" + "\n".join(["    add rax, 1"] * n)
+        cycles = cycles_of(body)
+        assert n * 0.9 <= cycles <= n * 1.5
+
+    def test_serial_mult_chain_is_three_per_cycle(self):
+        """Dependent 3-cycle multiplies take ~3N cycles."""
+        n = 200
+        body = "    mov rax, 1\n" + "\n".join(["    imul rax, rax"] * n)
+        cycles = cycles_of(body)
+        assert 3 * n * 0.9 <= cycles <= 3 * n * 1.4
+
+    def test_dependent_l1_load_chain_pays_l1_latency(self):
+        """Pointer chasing in L1 costs ~l1_latency per hop."""
+        hops = 100
+        setup = ["    mov rbx, 0x30000"]
+        # Build a self-loop: [0x30000] -> 0x30000, chase it `hops` times.
+        setup.append("    mov rax, 0x30000")
+        setup.append("    mov [rbx], rax")
+        setup += ["    mov rbx, [rbx]"] * hops
+        cycles = cycles_of("\n".join(setup))
+        expected = hops * DEFAULT_CONFIG.l1_latency
+        assert expected * 0.8 <= cycles <= expected * 1.6
+
+
+class TestThroughputLimits:
+    def test_independent_adds_hit_issue_width(self):
+        """Six independent add chains sustain multiple uops per cycle."""
+        n = 120
+        regs = ["rax", "rbx", "rcx", "rdx", "rsi", "r8"]
+        lines = [f"    mov {r}, 0" for r in regs]
+        for _ in range(n):
+            lines += [f"    add {r}, 1" for r in regs]
+        cycles = cycles_of("\n".join(lines))
+        instructions = n * 6
+        ipc = instructions / cycles
+        # Fetch is 4-wide, issue 6-wide: expect IPC well above 2.
+        assert ipc > 2.0
+
+    def test_fetch_width_bounds_ipc(self):
+        """IPC can never beat the 4-wide fetch for long runs."""
+        n = 200
+        lines = []
+        for _ in range(n):
+            lines += ["    add rax, 1", "    add rbx, 1",
+                      "    add rcx, 1", "    add rdx, 1",
+                      "    add rsi, 1", "    add r8, 1"]
+        cycles = cycles_of("\n".join(lines))
+        assert (n * 6) / cycles <= DEFAULT_CONFIG.fetch_width + 0.2
+
+
+class TestMemoryLatencies:
+    def test_cold_dram_loads_cost_full_latency(self):
+        """Dependent loads at page stride (all cold) pay the DRAM trip."""
+        hops = 30
+        lines = ["    mov rbx, 0x4000000"]
+        for i in range(hops):
+            lines.append(f"    mov rax, [rbx + {i * 4096}]")
+            lines.append("    add rbx, rax")  # serialize on each load
+        cycles = cycles_of("\n".join(lines))
+        full_trip = (DEFAULT_CONFIG.l1_latency + DEFAULT_CONFIG.l2_latency
+                     + DEFAULT_CONFIG.mem_latency)
+        assert cycles >= hops * full_trip * 0.8
+
+    def test_branch_mispredict_penalty_scale(self):
+        """An unpredictable branch costs roughly the mispredict penalty."""
+        iters = 300
+        predictable = cycles_of(loop(["add rax, 3"], iters))
+        unpredictable = cycles_of(
+            "    mov r10, 99\n" + loop([
+                "imul r10, 6364136223846793005",
+                "add r10, 1442695040888963407",
+                "mov rax, r10",
+                "shr rax, 33",
+                "and rax, 1",
+                "cmp rax, 1",
+                "je taken",
+                "add rbx, 1",
+                "taken:" ,
+                "add rcx, 1",
+            ], iters))
+        # ~50% mispredicts at `penalty` each, plus the extra work.
+        extra = unpredictable - predictable
+        penalty = DEFAULT_CONFIG.branch_mispredict_penalty
+        assert extra > iters * 0.25 * penalty
+
+
+class TestCapCheckCosts:
+    def test_capchecks_off_the_load_critical_path(self):
+        """A dependent-load chain over heap pointers must cost roughly the
+        same with and without capChecks — the paper's claim that the check
+        is not on the load-to-use path (microcode variant)."""
+        body = """
+    mov rdi, 64
+    call malloc
+    mov rbx, [slot.addr]
+    mov [rbx], rax
+""" + loop(["mov rcx, [rbx]", "mov rdx, [rcx]", "mov rdx, [rcx + 8]"], 200)
+        base = Chex86Machine(
+            assemble_main(body, globals_asm=".global slot, 16\n"),
+            variant=Variant.INSECURE).run().cycles
+        protected = Chex86Machine(
+            assemble_main(body, globals_asm=".global slot, 16\n"),
+            variant=Variant.UCODE_PREDICTION).run().cycles
+        assert protected <= base * 1.35
+
+    def test_hw_only_checks_are_on_the_path(self):
+        """The same chain under the hardware-only variant pays per-load."""
+        body = """
+    mov rdi, 64
+    call malloc
+    mov rbx, [slot.addr]
+    mov [rbx], rax
+""" + loop(["mov rcx, [rbx]", "mov rdx, [rcx]", "mov rdx, [rcx + 8]"], 200)
+        prediction = Chex86Machine(
+            assemble_main(body, globals_asm=".global slot, 16\n"),
+            variant=Variant.UCODE_PREDICTION).run().cycles
+        hw_only = Chex86Machine(
+            assemble_main(body, globals_asm=".global slot, 16\n"),
+            variant=Variant.HW_ONLY).run().cycles
+        assert hw_only > prediction

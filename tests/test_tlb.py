@@ -1,0 +1,66 @@
+"""Unit tests for the TLB and its CHEx86 alias-hosting bit."""
+
+import pytest
+
+from repro.memory import PAGE_SIZE, Tlb
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert tlb.access(0x1000) is False
+        assert tlb.access(0x1008) is True  # same page
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_distinct_pages_miss(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert tlb.access(0x1000 + PAGE_SIZE) is False
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(entries=4, ways=4)
+        for i in range(5):
+            tlb.access(i * PAGE_SIZE)
+        assert tlb.access(0) is False  # evicted
+
+
+class TestAliasHostingBit:
+    def test_bit_clear_filters_walks(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert tlb.page_hosts_aliases(0x1008) is False
+        assert tlb.stats.alias_walks_filtered == 1
+
+    def test_bit_set_after_spill(self):
+        tlb = Tlb()
+        tlb.mark_alias_hosting(0x1000)
+        assert tlb.page_hosts_aliases(0x1ff8) is True
+        assert tlb.stats.alias_walks_filtered == 0
+
+    def test_bit_page_granular(self):
+        tlb = Tlb()
+        tlb.mark_alias_hosting(0x1000)
+        assert tlb.page_hosts_aliases(0x1000 + PAGE_SIZE) is False
+
+    def test_refill_picks_up_page_table_bit(self):
+        tlb = Tlb(entries=1, ways=1)
+        tlb.mark_alias_hosting(0x1000)
+        tlb.access(0x5000)  # evicts the 0x1000 entry
+        tlb.access(0x1000)  # refill reads the page-table bit
+        assert tlb.page_hosts_aliases(0x1000) is True
+
+    def test_shared_hosting_set(self):
+        """Multicore: the page-table side of the bit is shared state."""
+        shared = set()
+        tlb_a = Tlb(hosting=shared)
+        tlb_b = Tlb(hosting=shared)
+        tlb_a.mark_alias_hosting(0x2000)
+        assert tlb_b.page_hosts_aliases(0x2000) is True
+
+    def test_hosting_pages_count(self):
+        tlb = Tlb()
+        tlb.mark_alias_hosting(0x1000)
+        tlb.mark_alias_hosting(0x1008)  # same page
+        tlb.mark_alias_hosting(0x9000)
+        assert tlb.hosting_pages == 2

@@ -1,0 +1,111 @@
+"""Tests for the synthetic benchmark generators."""
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.isa import assemble
+from repro.pipeline.multicore import MulticoreMachine
+from repro.sanitizer import instrument_program
+from repro.workloads import (
+    BENCHMARK_ORDER,
+    PARSEC_NAMES,
+    SPEC_NAMES,
+    build,
+    build_all,
+)
+
+
+class TestConstruction:
+    def test_fourteen_benchmarks(self):
+        assert len(BENCHMARK_ORDER) == 14
+        assert len(SPEC_NAMES) == 8
+        assert len(PARSEC_NAMES) == 6
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build("specfp-imaginary")
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_every_benchmark_assembles(self, name):
+        workload = build(name, 1)
+        program = assemble(workload.source, name=name)
+        assert len(program) > 20
+
+    def test_parsec_workloads_are_threaded(self):
+        for name in PARSEC_NAMES:
+            workload = build(name, 1)
+            assert workload.threads == 4
+            assert len(workload.entry_labels) == 4
+            assert workload.entry_labels[0] == "main"
+
+    def test_spec_workloads_single_threaded(self):
+        for name in SPEC_NAMES:
+            assert build(name, 1).threads == 1
+
+    def test_scale_grows_work(self):
+        small = build("perlbench", 1)
+        # The static program is the same; scale grows loop bounds.
+        big = build("perlbench", 3)
+        assert "cmp r8" in small.source
+        assert small.source != big.source
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_spec_runs_clean_under_chex86(self, name):
+        workload = build(name, 1)
+        machine = Chex86Machine(assemble(workload.source, name=name),
+                                variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=True)
+        result = machine.run(max_instructions=800_000)
+        assert result.halted, f"{name} did not finish"
+        assert not result.flagged, f"{name} raised a false positive"
+
+    def test_leela_false_positive_path(self):
+        """The statically-linked-libstdc++ idiom is the paper's one false
+        positive: a constant-address dereference of a benign global."""
+        from repro.core import ViolationKind
+        workload = build("leela", 1, libstdcxx_constant_deref=True)
+        machine = Chex86Machine(assemble(workload.source, name="leela-fp"),
+                                variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        result = machine.run(max_instructions=800_000)
+        assert result.violations.count(ViolationKind.WILD_DEREFERENCE) == 1
+
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_spec_workloads_are_asan_compatible(self, name):
+        """Workloads must respect the sanitizer's register conventions."""
+        workload = build(name, 1)
+        program = assemble(workload.source, name=name)
+        sanitized, report = instrument_program(program)
+        assert report.instrumented_accesses > 0
+
+    def test_allocation_character_ordering(self):
+        """Figure 3's qualitative ordering must be baked in."""
+        counts = {}
+        for name in ("xalancbmk", "gcc", "lbm", "deepsjeng"):
+            workload = build(name, 1)
+            machine = Chex86Machine(assemble(workload.source, name=name),
+                                    variant=Variant.UCODE_PREDICTION,
+                                    halt_on_violation=True)
+            machine.run(max_instructions=800_000)
+            counts[name] = machine.allocator.stats.total_allocs
+        assert counts["xalancbmk"] > counts["gcc"] > counts["deepsjeng"]
+        assert counts["lbm"] <= 2
+
+    def test_mcf_has_large_live_set(self):
+        workload = build("mcf", 1)
+        machine = Chex86Machine(assemble(workload.source, name="mcf"),
+                                variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=True)
+        machine.run(max_instructions=800_000)
+        stats = machine.allocator.stats
+        assert stats.max_live == stats.total_allocs  # nothing freed
+
+    @pytest.mark.parametrize("name", ["bodytrack", "swaptions"])
+    def test_parsec_multicore_clean(self, name):
+        workload = build(name, 1)
+        runner = MulticoreMachine(workload, variant=Variant.UCODE_PREDICTION,
+                                  halt_on_violation=True)
+        result = runner.run(max_instructions_per_core=400_000)
+        assert result.halted and not result.flagged
