@@ -18,9 +18,10 @@ from conftest import BUDGET, SCALE, once
 from repro.eval import fig6
 
 
-def test_fig6_performance_and_uop_expansion(benchmark):
+def test_fig6_performance_and_uop_expansion(benchmark, engine):
     result = once(benchmark, lambda: fig6.run(scale=SCALE,
-                                              max_instructions=BUDGET))
+                                              max_instructions=BUDGET,
+                                              engine=engine))
     print("\n" + result.format_text())
     perf = result.normalized_performance()
     expansion = result.uop_expansion()

@@ -5,9 +5,10 @@ from conftest import BUDGET, SCALE, once
 from repro.eval import fig7
 
 
-def test_fig7_cache_miss_rates(benchmark):
+def test_fig7_cache_miss_rates(benchmark, engine):
     result = once(benchmark, lambda: fig7.run(scale=SCALE,
-                                              max_instructions=BUDGET))
+                                              max_instructions=BUDGET,
+                                              engine=engine))
     print("\n" + result.format_text())
 
     # Shape: a bigger cache never has a (meaningfully) higher miss rate.

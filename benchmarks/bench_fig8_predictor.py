@@ -5,9 +5,10 @@ from conftest import BUDGET, SCALE, once
 from repro.eval import fig8
 
 
-def test_fig8_predictor_and_squash(benchmark):
+def test_fig8_predictor_and_squash(benchmark, engine):
     result = once(benchmark, lambda: fig8.run(scale=SCALE,
-                                              max_instructions=BUDGET))
+                                              max_instructions=BUDGET,
+                                              engine=engine))
     print("\n" + result.format_text())
 
     # Paper: pointer reload events are predicted with ~89% accuracy using

@@ -5,9 +5,10 @@ from conftest import BUDGET, SCALE, once
 from repro.eval import fig9
 
 
-def test_fig9_storage_and_bandwidth(benchmark):
+def test_fig9_storage_and_bandwidth(benchmark, engine):
     result = once(benchmark, lambda: fig9.run(scale=SCALE,
-                                              max_instructions=BUDGET))
+                                              max_instructions=BUDGET,
+                                              engine=engine))
     print("\n" + result.format_text())
 
     # Paper: "we do not allocate any more shadow memory than the address

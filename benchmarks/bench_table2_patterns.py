@@ -6,9 +6,10 @@ from repro.analysis.patterns import TABLE2_EXAMPLES, Pattern, classify
 from repro.eval import table2
 
 
-def test_table2_temporal_patterns(benchmark):
+def test_table2_temporal_patterns(benchmark, engine):
     result = once(benchmark, lambda: table2.run(scale=SCALE,
-                                                max_instructions=400_000))
+                                                max_instructions=400_000,
+                                                engine=engine))
     print("\n" + result.format_text())
 
     # The classifier reproduces every example row of Table II itself.

@@ -6,9 +6,10 @@ from conftest import BUDGET, SCALE, once
 from repro.eval import table4
 
 
-def test_table4_comparison(benchmark):
+def test_table4_comparison(benchmark, engine):
     result = once(benchmark, lambda: table4.run(scale=SCALE,
-                                                max_instructions=BUDGET))
+                                                max_instructions=BUDGET,
+                                                engine=engine))
     print("\n" + result.format_text())
 
     # The qualitative claims the paper cites the table for.

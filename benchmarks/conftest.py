@@ -4,15 +4,46 @@ Every benchmark regenerates one of the paper's tables or figures, prints
 the paper-shaped rows/series (run ``pytest benchmarks/ --benchmark-only -s``
 to see them), asserts the paper's qualitative claims on the result, and
 records the headline numbers in ``benchmark.extra_info``.
+
+The figure/table benchmarks share one :class:`~repro.eval.EvalEngine`
+per session, so overlapping cells (e.g. Figure 6's default grid inside
+Figure 7's sweeps) are simulated once.  Engine knobs:
+
+``--jobs N``
+    Parallel simulation workers (default: all CPUs).
+``--no-cache``
+    Disable the on-disk cell cache (in-memory memoization stays on).
+``--cache-dir DIR``
+    Cell cache location (default: ``results/.cellcache``).
 """
 
 import pytest
+
+from repro.eval.engine import DEFAULT_CACHE_DIR, EvalEngine
 
 #: Workload scale used across the harness (1 = quick, CI-sized runs).
 SCALE = 1
 
 #: Instruction budget per benchmark run.
 BUDGET = 2_000_000
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro evaluation engine")
+    group.addoption("--jobs", type=int, default=None,
+                    help="parallel simulation workers (default: all CPUs)")
+    group.addoption("--no-cache", action="store_true",
+                    help="disable the on-disk cell cache")
+    group.addoption("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="cell cache directory")
+
+
+@pytest.fixture(scope="session")
+def engine(request):
+    """One shared evaluation engine for the whole benchmark session."""
+    return EvalEngine(jobs=request.config.getoption("--jobs"),
+                      cache_dir=request.config.getoption("--cache-dir"),
+                      use_cache=not request.config.getoption("--no-cache"))
 
 
 def once(benchmark, fn):

@@ -32,6 +32,7 @@ import sys
 from .core import Chex86Machine, Variant
 from .eval import fig1, fig3, fig6, fig7, fig8, fig9, security
 from .eval import table1, table2, table3, table4
+from .eval.engine import DEFAULT_CACHE_DIR, EvalEngine
 from .heap import heap_library_asm
 from .isa import assemble
 from .workloads import BENCHMARK_ORDER, build
@@ -41,12 +42,47 @@ _VARIANTS = {v.value: v for v in Variant}
 _FIGURES = {"1": fig1, "3": fig3, "6": fig6, "7": fig7, "8": fig8, "9": fig9}
 _TABLES = {"1": table1, "2": table2, "3": table3, "4": table4}
 
+#: Figures/tables whose cells come from the shared evaluation engine.
+_ENGINE_FIGURES = {"6", "7", "8", "9"}
+_ENGINE_TABLES = {"2", "4"}
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: one line on stderr, exit status 2."""
+
 
 def _add_variant_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--variant", default="ucode-prediction",
                         choices=sorted(_VARIANTS),
                         help="CHEx86 design point (default: the paper's "
                              "prediction-driven microcode variant)")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel simulation workers "
+                             "(default: all CPUs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk cell cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"cell cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+
+
+def _engine_from(args, echo) -> EvalEngine:
+    if args.jobs is not None and args.jobs < 1:
+        raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    return EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                      use_cache=not args.no_cache, echo=echo)
+
+
+def _read_program(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        raise CliError(f"cannot read assembly file {path!r}: "
+                       f"{error.strerror or error}") from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,10 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", choices=sorted(_FIGURES))
     fig_p.add_argument("--scale", type=int, default=1)
+    _add_engine_args(fig_p)
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("number", choices=sorted(_TABLES))
     tab_p.add_argument("--scale", type=int, default=1)
+    _add_engine_args(tab_p)
 
     sec_p = sub.add_parser("security", help="run the exploit suites")
     sec_p.add_argument("--ripe-limit", type=int, default=None,
@@ -95,14 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--out", default="results")
     rep_p.add_argument("--scale", type=int, default=1)
     rep_p.add_argument("--ripe-limit", type=int, default=None)
+    _add_engine_args(rep_p)
 
     sub.add_parser("list", help="list benchmarks, variants, suites")
     return parser
 
 
 def cmd_run(args) -> int:
-    with open(args.file) as handle:
-        source = handle.read()
+    source = _read_program(args.file)
     if not args.no_heap_library and "malloc:" not in source:
         source += "\n" + heap_library_asm()
     program = assemble(source, name=args.file)
@@ -148,10 +186,19 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def _echo_stderr(message: str) -> None:
+    # Engine progress goes to stderr so stdout stays exactly the
+    # rendered figure/table (pipeable, byte-comparable).
+    print(message, file=sys.stderr)
+
+
 def cmd_figure(args) -> int:
     module = _FIGURES[args.number]
     if args.number == "1":
         result = module.run()
+    elif args.number in _ENGINE_FIGURES:
+        engine = _engine_from(args, _echo_stderr)
+        result = module.run(scale=args.scale, engine=engine)
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -162,6 +209,9 @@ def cmd_table(args) -> int:
     module = _TABLES[args.number]
     if args.number == "3":
         result = module.run()
+    elif args.number in _ENGINE_TABLES:
+        engine = _engine_from(args, _echo_stderr)
+        result = module.run(scale=args.scale, engine=engine)
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -177,8 +227,7 @@ def cmd_security(args) -> int:
 def cmd_debug(args) -> int:
     from .debugger import debug_program
 
-    with open(args.file) as handle:
-        source = handle.read()
+    source = _read_program(args.file)
     if not args.no_heap_library and "malloc:" not in source:
         source += "\n" + heap_library_asm()
     program = assemble(source, name=args.file)
@@ -189,8 +238,9 @@ def cmd_debug(args) -> int:
 def cmd_reproduce(args) -> int:
     from .eval.runner import reproduce
 
+    engine = _engine_from(args, print)
     reproduce(out_dir=args.out, scale=args.scale,
-              ripe_limit=args.ripe_limit)
+              ripe_limit=args.ripe_limit, engine=engine)
     return 0
 
 
@@ -215,7 +265,16 @@ def main(argv=None) -> int:
         "reproduce": cmd_reproduce,
         "list": cmd_list,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+    except FileNotFoundError as error:
+        # Anything the handlers did not anticipate (argparse already
+        # rejects unknown workload/figure/table names with status 2).
+        print(f"error: no such file: {error.filename}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":

@@ -69,14 +69,18 @@ class RunResult:
     violations: ViolationLog
     machine: "Chex86Machine"
 
+    # Ratio accessors follow the repo-wide zero-denominator convention:
+    # a run that executed nothing yields 0.0, never ZeroDivisionError.
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
     def uop_expansion(self) -> float:
-        """Dynamic uops relative to the native translation (>= 1.0)."""
-        return self.uops / self.native_uops if self.native_uops else 1.0
+        """Dynamic uops relative to the native translation (>= 1.0 for
+        any run that executed; 0.0 when nothing was decoded)."""
+        return self.uops / self.native_uops if self.native_uops else 0.0
 
     @property
     def flagged(self) -> bool:

@@ -57,13 +57,18 @@ class PredictorStats:
 
 
 class _Entry:
-    __slots__ = ("tag", "last_pid", "stride", "conf")
+    __slots__ = ("tag", "last_pid", "stride", "conf", "useful")
 
     def __init__(self, tag: int) -> None:
         self.tag = tag
         self.last_pid = 0
         self.stride = 0
-        self.conf = 0  # 2-bit saturating
+        self.conf = 0    # 2-bit saturating prediction confidence
+        #: Replacement-contest counter.  Colliding loads (same table slot,
+        #: different tag) decrement *this* — never ``conf`` — so an index
+        #: collision cannot silently degrade the resident instruction's
+        #: predictions; it can only, eventually, evict the whole entry.
+        self.useful = 1
 
 
 class PointerReloadPredictor:
@@ -156,14 +161,20 @@ class PointerReloadPredictor:
         index = self._index(pc)
         entry = self._table[index]
         if entry is None or entry.tag != pc:
-            if entry is not None and entry.conf > 0:
-                entry.conf -= 1  # partial protection against thrashing
+            # Index collision: contest the slot via the replacement
+            # counter only.  The resident entry's tag/last_pid/stride/conf
+            # stay untouched, so its own predictions are unaffected until
+            # it is actually evicted (the paper's blacklist rationale —
+            # no destructive aliasing in the predictor table).
+            if entry is not None and entry.useful > 0:
+                entry.useful -= 1
                 return
             entry = _Entry(pc)
             self._table[index] = entry
             entry.last_pid = actual
             entry.conf = 1
             return
+        entry.useful = min(entry.useful + 1, self.CONF_MAX)
         stride = actual - entry.last_pid
         if stride == entry.stride:
             entry.conf = min(entry.conf + 1, self.CONF_MAX)

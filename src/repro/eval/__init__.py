@@ -20,10 +20,13 @@ Each module exposes ``run(...)`` returning a result object with
 
 from . import ablations, fig1, fig3, fig6, fig7, fig8, fig9, security, table1, table2, table3, table4
 from .common import FIG6_LABELS, BenchmarkRun, defense_label, run_benchmark
+from .engine import CellSpec, EvalEngine
 from .runner import ArtifactRecord, reproduce
 
 __all__ = [
     "BenchmarkRun",
+    "CellSpec",
+    "EvalEngine",
     "FIG6_LABELS",
     "ablations",
     "defense_label",

@@ -98,7 +98,7 @@ class BenchmarkRun:
 
     @property
     def bandwidth_mb_per_s(self) -> float:
-        if not self.cycles:
+        if not self.cycles or not self.frequency_ghz:
             return 0.0
         seconds = self.cycles / (self.frequency_ghz * 1e9)
         return (self.dram_bytes + self.shadow_dram_bytes) / seconds / 1e6
@@ -109,12 +109,18 @@ class BenchmarkRun:
 
     def normalized_performance(self, baseline: "BenchmarkRun") -> float:
         """Figure 6 top: runtime of baseline / runtime of this (<= 1.0
-        means slowdown relative to the insecure baseline)."""
+        means slowdown relative to the insecure baseline).
+
+        A zero denominator (a run that never advanced) yields 0.0 — the
+        repo-wide convention for undefined ratios.
+        """
         return baseline.cycles / self.cycles if self.cycles else 0.0
 
     def uop_expansion_vs(self, baseline: "BenchmarkRun") -> float:
-        """Figure 6 bottom: dynamic uops normalized to the baseline's."""
-        return self.uops / baseline.uops if baseline.uops else 1.0
+        """Figure 6 bottom: dynamic uops normalized to the baseline's
+        (0.0 when the baseline executed no uops, per the repo-wide
+        zero-denominator convention)."""
+        return self.uops / baseline.uops if baseline.uops else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable record: raw fields plus derived metrics."""
@@ -130,6 +136,19 @@ class BenchmarkRun:
             "total_rss_bytes": self.total_rss_bytes,
         })
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "BenchmarkRun":
+        """Inverse of :meth:`to_dict` (derived metrics are recomputed,
+        so ``from_dict(run.to_dict()) == run`` round-trips exactly)."""
+        from dataclasses import fields
+
+        names = {f.name for f in fields(cls)}
+        missing = names - set(record)
+        if missing:
+            raise ValueError(
+                f"BenchmarkRun record missing fields: {sorted(missing)}")
+        return cls(**{k: v for k, v in record.items() if k in names})
 
 
 def run_benchmark(workload: Workload, defense: Defense,

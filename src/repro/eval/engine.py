@@ -1,0 +1,354 @@
+"""Shared cell-oriented evaluation engine.
+
+Every figure/table driver needs the same kind of raw material: the
+metrics of one (workload, defense, scale) *cell*, simulated under one
+:class:`~repro.pipeline.config.CoreConfig`.  Before this engine existed
+each driver re-simulated its cells independently, so ``python -m repro
+reproduce`` paid for the overlapping cells of Figures 6-9 and Tables
+II/IV many times over.
+
+The engine turns that inside out:
+
+* :class:`CellSpec` names one cell (workload, defense label, scale,
+  instruction budget, core configuration, and the cell *kind* —
+  ``"benchmark"`` for a full :class:`~repro.eval.common.BenchmarkRun`,
+  ``"patterns"`` for a Table II reload-pattern profile);
+* :class:`EvalEngine` computes a batch of specs, deduplicated, fanned
+  out across a ``ProcessPoolExecutor`` (``jobs`` workers, default
+  ``os.cpu_count()``), memoized in-process for the engine's lifetime,
+  and — unless caching is disabled — persisted as JSON under
+  ``results/.cellcache/`` keyed by a content hash of the spec plus the
+  package version, so warm re-runs are near-instant;
+* the drivers slice the shared records into the paper's rows/series.
+
+Cache entries are self-describing: schema number, package version, the
+full spec payload, the encoded result, and timing.  Any mismatch (or a
+corrupt file) is treated as a miss and recomputed — never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
+from ..core.variants import Variant
+from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from .common import BenchmarkRun, run_benchmark
+
+#: Bumped whenever the cache record layout (not the simulated behaviour)
+#: changes; old records are silently recomputed.
+CACHE_SCHEMA = 1
+
+#: Default location of the on-disk cell cache.
+DEFAULT_CACHE_DIR = "results/.cellcache"
+
+_VARIANT_BY_LABEL = {variant.value: variant for variant in Variant}
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One unit of simulation work, addressable and hashable.
+
+    ``defense`` is a *label* (``Variant.value`` or ``"asan"``) so specs
+    serialize naturally; ``config`` is the frozen ``CoreConfig``, which
+    makes equal sweeps (e.g. Figure 7's 64-entry capability cache and
+    Figure 6's default configuration) literally the same cell.
+    """
+
+    workload: str
+    defense: str
+    scale: int = 1
+    max_instructions: int = 2_000_000
+    kind: str = "benchmark"      # "benchmark" | "patterns"
+    min_events: int = 0          # patterns cells: minimum reloads per PC
+    config: CoreConfig = DEFAULT_CONFIG
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("benchmark", "patterns"):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        if self.kind == "benchmark" and self.defense not in _VARIANT_BY_LABEL \
+                and self.defense != "asan":
+            raise ValueError(f"unknown defense {self.defense!r}")
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        suffix = "" if self.kind == "benchmark" else f" [{self.kind}]"
+        return f"{self.workload}/{self.defense}{suffix}"
+
+    def payload(self) -> Dict[str, object]:
+        """Plain-data form: hashed for the cache key and shipped to
+        worker processes (picklable under any start method)."""
+        return {
+            "workload": self.workload,
+            "defense": self.defense,
+            "scale": self.scale,
+            "max_instructions": self.max_instructions,
+            "kind": self.kind,
+            "min_events": self.min_events,
+            "config": asdict(self.config),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CellSpec":
+        config_fields = {f.name for f in fields(CoreConfig)}
+        config = CoreConfig(**{k: v for k, v in payload["config"].items()
+                               if k in config_fields})
+        return cls(workload=payload["workload"], defense=payload["defense"],
+                   scale=payload["scale"],
+                   max_instructions=payload["max_instructions"],
+                   kind=payload.get("kind", "benchmark"),
+                   min_events=payload.get("min_events", 0),
+                   config=config)
+
+    def cache_key(self) -> str:
+        """Content hash over the spec and the package version, so any
+        change to the simulated configuration invalidates the cell."""
+        canonical = json.dumps(
+            {"schema": CACHE_SCHEMA, "version": __version__,
+             **self.payload()},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    def cache_filename(self) -> str:
+        safe = f"{self.workload}-{self.defense}-{self.kind}".replace("/", "_")
+        return f"{safe}-{self.cache_key()}.json"
+
+
+# -- cell computation (runs in worker processes) ------------------------------
+
+
+def compute_cell(spec: CellSpec):
+    """Simulate one cell from scratch; pure function of the spec."""
+    from ..workloads import build
+
+    workload = build(spec.workload, spec.scale)
+    if spec.kind == "benchmark":
+        defense = _VARIANT_BY_LABEL.get(spec.defense, spec.defense)
+        return run_benchmark(workload, defense, spec.config,
+                             spec.max_instructions)
+    # "patterns": trace reload PIDs and classify them (Table II).
+    from ..core.machine import Chex86Machine
+    from ..isa.assembler import assemble
+
+    machine = Chex86Machine(
+        assemble(workload.source, name=spec.workload),
+        variant=_VARIANT_BY_LABEL.get(spec.defense,
+                                      Variant.UCODE_PREDICTION),
+        config=spec.config, halt_on_violation=False)
+    machine.trace_reloads = True
+    machine.run(max_instructions=spec.max_instructions)
+    return profile_patterns(machine.reload_trace, spec.min_events)
+
+
+def encode_result(spec: CellSpec, result) -> Dict[str, object]:
+    """JSON-serializable form of a cell result (by kind)."""
+    if spec.kind == "benchmark":
+        return {"benchmark_run": result.to_dict()}
+    return {"pattern_profile": {str(pc): pattern.value
+                                for pc, pattern in result.per_pc.items()}}
+
+
+def decode_result(spec: CellSpec, encoded: Dict[str, object]):
+    """Inverse of :func:`encode_result`; raises ``KeyError``/``ValueError``
+    on malformed records (callers treat that as a cache miss)."""
+    if spec.kind == "benchmark":
+        return BenchmarkRun.from_dict(encoded["benchmark_run"])
+    from collections import Counter
+
+    per_pc = {int(pc): Pattern(value)
+              for pc, value in encoded["pattern_profile"].items()}
+    return PatternProfile(per_pc=per_pc,
+                          histogram=Counter(per_pc.values()))
+
+
+def _cell_worker(payload: Dict[str, object]) -> Tuple[Dict[str, object], int,
+                                                      float]:
+    """Top-level (picklable) pool entry point: compute one cell and
+    return ``(encoded result, simulated instructions, seconds)``."""
+    spec = CellSpec.from_payload(payload)
+    started = time.perf_counter()
+    result = compute_cell(spec)
+    seconds = time.perf_counter() - started
+    instructions = getattr(result, "instructions", 0)
+    return encode_result(spec, result), instructions, seconds
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """What one engine instance did, for the timing summary."""
+
+    computed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+    simulated_instructions: int = 0
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.wall_seconds
+
+    def summary(self) -> str:
+        rate = self.instructions_per_second
+        return (f"engine: {self.computed} cell(s) simulated, "
+                f"{self.cached} cached, {self.wall_seconds:.1f}s wall, "
+                f"{rate / 1e3:.0f}k simulated instr/s")
+
+
+class EvalEngine:
+    """Computes cells at most once: in-memory memo, on-disk cache,
+    process-pool fan-out for the misses.
+
+    ``jobs=1`` computes inline (deterministic, no subprocess overhead);
+    ``use_cache=False`` skips the on-disk layer but keeps the in-memory
+    memo, so a batch still simulates each unique cell once.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: str = DEFAULT_CACHE_DIR,
+                 use_cache: bool = True,
+                 echo: Optional[Callable[[str], None]] = None) -> None:
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache_dir = Path(cache_dir)
+        self.use_cache = use_cache
+        self.echo = echo if echo is not None else (lambda message: None)
+        self.stats = EngineStats()
+        self._memo: Dict[CellSpec, object] = {}
+
+    @classmethod
+    def serial(cls) -> "EvalEngine":
+        """Inline, cache-less engine — the drivers' standalone default."""
+        return cls(jobs=1, use_cache=False)
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, spec: CellSpec):
+        return self.run_cells([spec])[spec]
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, object]:
+        """Resolve every spec, computing each unique cell at most once.
+
+        Returns a dict covering every requested spec (duplicates share
+        one record).  Emits one progress line per resolved cell and a
+        timing summary for the batch.
+        """
+        unique: List[CellSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec not in seen:
+                seen.add(spec)
+                unique.append(spec)
+        misses = [spec for spec in unique if spec not in self._memo]
+        total = len(misses)
+        started = time.perf_counter()
+        done = 0
+
+        still_missing: List[CellSpec] = []
+        for spec in misses:
+            cached = self._cache_load(spec)
+            if cached is not None:
+                self._memo[spec] = cached
+                self.stats.cached += 1
+                done += 1
+                self.echo(f"[cell {done}/{total}] {spec.label} cached")
+            else:
+                still_missing.append(spec)
+
+        if still_missing:
+            if self.jobs == 1 or len(still_missing) == 1:
+                for spec in still_missing:
+                    encoded, instructions, seconds = _cell_worker(
+                        spec.payload())
+                    done += 1
+                    self._finish_cell(spec, encoded, instructions, seconds,
+                                      done, total)
+            else:
+                self._run_pool(still_missing, done, total)
+
+        if misses:
+            self.stats.wall_seconds += time.perf_counter() - started
+            self.echo(self.stats.summary())
+        return {spec: self._memo[spec] for spec in unique}
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_pool(self, specs: List[CellSpec], done: int, total: int) -> None:
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_cell_worker, spec.payload()): spec
+                       for spec in specs}
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = futures[future]
+                    encoded, instructions, seconds = future.result()
+                    done += 1
+                    self._finish_cell(spec, encoded, instructions, seconds,
+                                      done, total)
+
+    def _finish_cell(self, spec: CellSpec, encoded: Dict[str, object],
+                     instructions: int, seconds: float,
+                     done: int, total: int) -> None:
+        result = decode_result(spec, encoded)
+        self._memo[spec] = result
+        self.stats.computed += 1
+        self.stats.simulated_instructions += instructions
+        self.echo(f"[cell {done}/{total}] {spec.label} "
+                  f"{seconds:.2f}s ({instructions:,} instr)")
+        self._cache_store(spec, encoded, instructions, seconds)
+
+    def _cache_path(self, spec: CellSpec) -> Path:
+        return self.cache_dir / spec.cache_filename()
+
+    def _cache_load(self, spec: CellSpec):
+        if not self.use_cache:
+            return None
+        path = self._cache_path(spec)
+        try:
+            record = json.loads(path.read_text())
+            if record.get("schema") != CACHE_SCHEMA \
+                    or record.get("version") != __version__:
+                return None
+            return decode_result(spec, record["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _cache_store(self, spec: CellSpec, encoded: Dict[str, object],
+                     instructions: int, seconds: float) -> None:
+        if not self.use_cache:
+            return
+        record = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "spec": spec.payload(),
+            "result": encoded,
+            "instructions": instructions,
+            "seconds": round(seconds, 4),
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self._cache_path(spec)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+            tmp.replace(path)
+        except OSError:
+            pass  # a read-only cache directory degrades to cache-less

@@ -17,12 +17,13 @@ Headline claims this driver reproduces in shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import BENCHMARK_ORDER, build
-from .common import FIG6_LABELS, BenchmarkRun, run_benchmark
+from ..workloads import BENCHMARK_ORDER
+from .common import FIG6_LABELS, BenchmarkRun, defense_label
+from .engine import CellSpec, EvalEngine
 
 
 @dataclass
@@ -119,18 +120,43 @@ class Figure6Result:
         ])
 
 
+def cell_specs(scale: int = 1,
+               benchmarks: Sequence[str] = BENCHMARK_ORDER,
+               config: CoreConfig = DEFAULT_CONFIG,
+               defenses=FIG6_LABELS,
+               max_instructions: int = 2_000_000) -> List[CellSpec]:
+    """Every cell the Figure 6 grid needs, in plot order.
+
+    Cell specs carry the *canonical* defense label (``Variant.value`` or
+    ``"asan"``); the figure's display labels (e.g. ``hw-only``) stay a
+    presentation concern of :func:`run`.
+    """
+    return [
+        CellSpec(workload=name, defense=defense_label(defense), scale=scale,
+                 max_instructions=max_instructions, config=config)
+        for name in benchmarks
+        for _, defense in defenses
+    ]
+
+
 def run(scale: int = 1,
         benchmarks: Sequence[str] = BENCHMARK_ORDER,
         config: CoreConfig = DEFAULT_CONFIG,
         defenses=FIG6_LABELS,
-        max_instructions: int = 2_000_000) -> Figure6Result:
-    """Execute the full Figure 6 grid."""
+        max_instructions: int = 2_000_000,
+        engine: Optional[EvalEngine] = None) -> Figure6Result:
+    """Execute the full Figure 6 grid (via a shared engine, if given)."""
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config, defenses,
+                                        max_instructions))
     runs: Dict[str, Dict[str, BenchmarkRun]] = {}
     for name in benchmarks:
-        workload = build(name, scale)
-        cells: Dict[str, BenchmarkRun] = {}
-        for label, defense in defenses:
-            cells[label] = run_benchmark(workload, defense, config,
-                                         max_instructions)
-        runs[name] = cells
+        runs[name] = {
+            label: cells[CellSpec(workload=name,
+                                  defense=defense_label(defense),
+                                  scale=scale,
+                                  max_instructions=max_instructions,
+                                  config=config)]
+            for label, defense in defenses
+        }
     return Figure6Result(runs=runs)

@@ -9,13 +9,12 @@ Bottom: miss rate of the 2-way alias cache (+32-entry victim cache) at
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import render_table
-from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import BENCHMARK_ORDER, build
-from .common import run_benchmark
+from ..workloads import BENCHMARK_ORDER
+from .engine import CellSpec, EvalEngine
 
 #: Capability-cache sizes swept in the top panel.
 CAPCACHE_SIZES = (64, 128)
@@ -70,24 +69,52 @@ class Figure7Result:
         ])
 
 
+def _spec(name: str, scale: int, config: CoreConfig,
+          max_instructions: int) -> CellSpec:
+    return CellSpec(workload=name, defense="ucode-prediction", scale=scale,
+                    max_instructions=max_instructions, config=config)
+
+
+def cell_specs(scale: int = 1,
+               benchmarks: Sequence[str] = BENCHMARK_ORDER,
+               config: CoreConfig = DEFAULT_CONFIG,
+               max_instructions: int = 2_000_000) -> List[CellSpec]:
+    """Both sweeps; sizes equal to the default configuration dedupe to
+    the same cells Figure 6 already needs."""
+    specs: List[CellSpec] = []
+    for name in benchmarks:
+        for size in CAPCACHE_SIZES:
+            specs.append(_spec(name, scale,
+                               config.with_(capcache_entries=size),
+                               max_instructions))
+        for size in ALIASCACHE_SIZES:
+            specs.append(_spec(name, scale,
+                               config.with_(aliascache_entries=size),
+                               max_instructions))
+    return specs
+
+
 def run(scale: int = 1,
         benchmarks: Sequence[str] = BENCHMARK_ORDER,
         config: CoreConfig = DEFAULT_CONFIG,
-        max_instructions: int = 2_000_000) -> Figure7Result:
+        max_instructions: int = 2_000_000,
+        engine: Optional[EvalEngine] = None) -> Figure7Result:
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config,
+                                        max_instructions))
     capcache: Dict[str, Dict[int, float]] = {}
     aliascache: Dict[str, Dict[int, float]] = {}
     for name in benchmarks:
-        workload = build(name, scale)
-        capcache[name] = {}
-        for size in CAPCACHE_SIZES:
-            run_ = run_benchmark(workload, Variant.UCODE_PREDICTION,
-                                 config.with_(capcache_entries=size),
-                                 max_instructions)
-            capcache[name][size] = run_.capcache_miss_rate
-        aliascache[name] = {}
-        for size in ALIASCACHE_SIZES:
-            run_ = run_benchmark(workload, Variant.UCODE_PREDICTION,
-                                 config.with_(aliascache_entries=size),
-                                 max_instructions)
-            aliascache[name][size] = run_.aliascache_miss_rate
+        capcache[name] = {
+            size: cells[_spec(name, scale,
+                              config.with_(capcache_entries=size),
+                              max_instructions)].capcache_miss_rate
+            for size in CAPCACHE_SIZES
+        }
+        aliascache[name] = {
+            size: cells[_spec(name, scale,
+                              config.with_(aliascache_entries=size),
+                              max_instructions)].aliascache_miss_rate
+            for size in ALIASCACHE_SIZES
+        }
     return Figure7Result(capcache=capcache, aliascache=aliascache)

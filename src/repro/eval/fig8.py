@@ -10,13 +10,12 @@ misprediction squash penalty is negligible next to uop expansion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import render_table
-from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import BENCHMARK_ORDER, build
-from .common import run_benchmark
+from ..workloads import BENCHMARK_ORDER
+from .engine import CellSpec, EvalEngine
 
 #: Predictor sizes swept in the top panel.
 PREDICTOR_SIZES = (1024, 2048)
@@ -68,25 +67,57 @@ class Figure8Result:
         ])
 
 
+def cell_specs(scale: int = 1,
+               benchmarks: Sequence[str] = BENCHMARK_ORDER,
+               config: CoreConfig = DEFAULT_CONFIG,
+               max_instructions: int = 2_000_000) -> List[CellSpec]:
+    """Predictor-size sweep plus the default-config baseline/CHEx86
+    pair (the pair dedupes against Figure 6's cells)."""
+    specs: List[CellSpec] = []
+    for name in benchmarks:
+        for size in PREDICTOR_SIZES:
+            specs.append(CellSpec(
+                workload=name, defense="ucode-prediction", scale=scale,
+                max_instructions=max_instructions,
+                config=config.with_(predictor_entries=size)))
+        specs.append(CellSpec(workload=name, defense="insecure", scale=scale,
+                              max_instructions=max_instructions,
+                              config=config))
+        specs.append(CellSpec(workload=name, defense="ucode-prediction",
+                              scale=scale,
+                              max_instructions=max_instructions,
+                              config=config))
+    return specs
+
+
 def run(scale: int = 1,
         benchmarks: Sequence[str] = BENCHMARK_ORDER,
         config: CoreConfig = DEFAULT_CONFIG,
-        max_instructions: int = 2_000_000) -> Figure8Result:
+        max_instructions: int = 2_000_000,
+        engine: Optional[EvalEngine] = None) -> Figure8Result:
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config,
+                                        max_instructions))
     mispredict: Dict[str, Dict[int, float]] = {}
     squash_baseline: Dict[str, float] = {}
     squash_chex86: Dict[str, float] = {}
     for name in benchmarks:
-        workload = build(name, scale)
-        mispredict[name] = {}
-        for size in PREDICTOR_SIZES:
-            run_ = run_benchmark(workload, Variant.UCODE_PREDICTION,
-                                 config.with_(predictor_entries=size),
-                                 max_instructions)
-            mispredict[name][size] = run_.predictor_misprediction_rate
-        baseline = run_benchmark(workload, Variant.INSECURE, config,
-                                 max_instructions)
-        chex = run_benchmark(workload, Variant.UCODE_PREDICTION, config,
-                             max_instructions)
+        mispredict[name] = {
+            size: cells[CellSpec(
+                workload=name, defense="ucode-prediction", scale=scale,
+                max_instructions=max_instructions,
+                config=config.with_(predictor_entries=size))
+            ].predictor_misprediction_rate
+            for size in PREDICTOR_SIZES
+        }
+        baseline = cells[CellSpec(workload=name, defense="insecure",
+                                  scale=scale,
+                                  max_instructions=max_instructions,
+                                  config=config)]
+        chex = cells[CellSpec(workload=name, defense="ucode-prediction",
+                              scale=scale,
+                              max_instructions=max_instructions,
+                              config=config)]
         squash_baseline[name] = baseline.squash_fraction
         squash_chex86[name] = chex.squash_fraction
     return Figure8Result(mispredict=mispredict,

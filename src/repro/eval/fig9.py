@@ -11,14 +11,16 @@ rates keep the difference small, with pointer-heavy outliers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..core.alias import NODE_BYTES
-from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import BENCHMARK_ORDER, build
-from .common import run_benchmark
+from ..workloads import BENCHMARK_ORDER
+from .engine import CellSpec, EvalEngine
+
+#: The three designs Figure 9 compares.
+FIG9_DEFENSES = ("insecure", "asan", "ucode-prediction")
 
 
 @dataclass
@@ -98,23 +100,35 @@ class Figure9Result:
         ])
 
 
+def cell_specs(scale: int = 1,
+               benchmarks: Sequence[str] = BENCHMARK_ORDER,
+               config: CoreConfig = DEFAULT_CONFIG,
+               max_instructions: int = 2_000_000) -> List[CellSpec]:
+    return [
+        CellSpec(workload=name, defense=label, scale=scale,
+                 max_instructions=max_instructions, config=config)
+        for name in benchmarks
+        for label in FIG9_DEFENSES
+    ]
+
+
 def run(scale: int = 1,
         benchmarks: Sequence[str] = BENCHMARK_ORDER,
         config: CoreConfig = DEFAULT_CONFIG,
-        max_instructions: int = 2_000_000) -> Figure9Result:
+        max_instructions: int = 2_000_000,
+        engine: Optional[EvalEngine] = None) -> Figure9Result:
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config,
+                                        max_instructions))
     rss: Dict[str, Dict[str, int]] = {}
     bandwidth: Dict[str, Dict[str, float]] = {}
-    defenses = (
-        ("insecure", Variant.INSECURE),
-        ("asan", "asan"),
-        ("ucode-prediction", Variant.UCODE_PREDICTION),
-    )
     for name in benchmarks:
-        workload = build(name, scale)
         rss[name] = {}
         bandwidth[name] = {}
-        for label, defense in defenses:
-            run_ = run_benchmark(workload, defense, config, max_instructions)
+        for label in FIG9_DEFENSES:
+            run_ = cells[CellSpec(workload=name, defense=label, scale=scale,
+                                  max_instructions=max_instructions,
+                                  config=config)]
             rss[name][label] = run_.total_rss_bytes
             bandwidth[name][label] = run_.bandwidth_mb_per_s
     return Figure9Result(rss=rss, bandwidth=bandwidth)

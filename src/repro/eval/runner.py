@@ -4,6 +4,12 @@
 figure, writing for each a text rendering (``<name>.txt``) plus a combined
 ``summary.json`` of the headline metrics — the artifact bundle a paper
 reproduction hands to reviewers.
+
+All figure/table drivers that consume simulation cells share one
+:class:`~repro.eval.engine.EvalEngine`: the full set of unique
+(workload, defense, configuration) cells is enumerated up front,
+simulated at most once across a process pool, and each artifact then
+slices the shared records.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from . import fig1, fig3, fig6, fig7, fig8, fig9, security
 from . import table1, table2, table3, table4
+from .engine import DEFAULT_CACHE_DIR, CellSpec, EvalEngine
 
 
 @dataclass
@@ -25,21 +32,35 @@ class ArtifactRecord:
     headline: Dict[str, object]
 
 
-def _artifacts(scale: int, ripe_limit: Optional[int]
+def _artifacts(scale: int, ripe_limit: Optional[int], engine: EvalEngine
                ) -> List[Tuple[str, Callable]]:
     return [
         ("fig1", lambda: fig1.run()),
         ("table3", lambda: table3.run()),
         ("fig3", lambda: fig3.run(scale=scale)),
         ("table1", lambda: table1.run(scale=scale)),
-        ("table2", lambda: table2.run(scale=scale)),
-        ("fig6", lambda: fig6.run(scale=scale)),
-        ("fig7", lambda: fig7.run(scale=scale)),
-        ("fig8", lambda: fig8.run(scale=scale)),
-        ("fig9", lambda: fig9.run(scale=scale)),
-        ("table4", lambda: table4.run(scale=scale)),
+        ("table2", lambda: table2.run(scale=scale, engine=engine)),
+        ("fig6", lambda: fig6.run(scale=scale, engine=engine)),
+        ("fig7", lambda: fig7.run(scale=scale, engine=engine)),
+        ("fig8", lambda: fig8.run(scale=scale, engine=engine)),
+        ("fig9", lambda: fig9.run(scale=scale, engine=engine)),
+        ("table4", lambda: table4.run(scale=scale, engine=engine)),
         ("security", lambda: security.run(ripe_limit=ripe_limit)),
     ]
+
+
+def shared_cell_specs(scale: int) -> List[CellSpec]:
+    """Every cell the engine-backed artifacts will ask for, deduplicated
+    by the engine itself (e.g. Figure 7's default-sized sweeps resolve
+    to the very cells Figure 6 plots)."""
+    return (
+        table2.cell_specs(scale=scale)
+        + fig6.cell_specs(scale=scale)
+        + fig7.cell_specs(scale=scale)
+        + fig8.cell_specs(scale=scale)
+        + fig9.cell_specs(scale=scale)
+        + table4.cell_specs(scale=scale)
+    )
 
 
 def _headline(name: str, result) -> Dict[str, object]:
@@ -100,12 +121,28 @@ def _headline(name: str, result) -> Dict[str, object]:
 
 def reproduce(out_dir: str = "results", scale: int = 1,
               ripe_limit: Optional[int] = None,
-              echo: Callable[[str], None] = print) -> List[ArtifactRecord]:
-    """Run everything; returns per-artifact records (also saved to disk)."""
+              echo: Callable[[str], None] = print,
+              jobs: Optional[int] = None,
+              use_cache: bool = True,
+              cache_dir: str = DEFAULT_CACHE_DIR,
+              engine: Optional[EvalEngine] = None) -> List[ArtifactRecord]:
+    """Run everything; returns per-artifact records (also saved to disk).
+
+    ``jobs``/``use_cache``/``cache_dir`` configure the shared evaluation
+    engine (pass a pre-built ``engine`` to override it entirely).
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    if engine is None:
+        engine = EvalEngine(jobs=jobs, cache_dir=cache_dir,
+                            use_cache=use_cache, echo=echo)
+    specs = shared_cell_specs(scale)
+    unique = len(set(specs))
+    echo(f"prewarming {unique} unique simulation cells "
+         f"({len(specs)} requested) with {engine.jobs} worker(s)")
+    engine.run_cells(specs)
     records: List[ArtifactRecord] = []
-    for name, runner in _artifacts(scale, ripe_limit):
+    for name, runner in _artifacts(scale, ripe_limit, engine):
         started = time.time()
         result = runner()
         elapsed = time.time() - started
@@ -119,7 +156,15 @@ def reproduce(out_dir: str = "results", scale: int = 1,
         "scale": scale,
         "artifacts": {r.name: {"seconds": r.seconds, **r.headline}
                       for r in records},
+        "engine": {
+            "jobs": engine.jobs,
+            "cells_simulated": engine.stats.computed,
+            "cells_cached": engine.stats.cached,
+            "wall_seconds": round(engine.stats.wall_seconds, 1),
+            "simulated_instructions": engine.stats.simulated_instructions,
+        },
     }
     (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    echo(engine.stats.summary())
     echo(f"wrote {len(records)} artifacts + summary.json to {out}/")
     return records

@@ -10,15 +10,13 @@ and perlbench exhibits the most "Batch + Stride" sites.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
+from ..analysis.patterns import Pattern, PatternProfile
 from ..analysis.report import render_table
-from ..core.machine import Chex86Machine
-from ..core.variants import Variant
-from ..isa.assembler import assemble
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import SPEC_NAMES, build
+from ..workloads import SPEC_NAMES
+from .engine import CellSpec, EvalEngine
 
 #: Patterns the stride predictor captures well.
 PREDICTABLE = {
@@ -68,17 +66,31 @@ class Table2Result:
                 f"(paper: perlbench)")
 
 
+def _spec(name: str, scale: int, config: CoreConfig,
+          max_instructions: int, min_events: int) -> CellSpec:
+    return CellSpec(workload=name, defense="ucode-prediction", scale=scale,
+                    max_instructions=max_instructions, kind="patterns",
+                    min_events=min_events, config=config)
+
+
+def cell_specs(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
+               config: CoreConfig = DEFAULT_CONFIG,
+               max_instructions: int = 600_000,
+               min_events: int = 6) -> List[CellSpec]:
+    return [_spec(name, scale, config, max_instructions, min_events)
+            for name in benchmarks]
+
+
 def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
         config: CoreConfig = DEFAULT_CONFIG,
         max_instructions: int = 600_000,
-        min_events: int = 6) -> Table2Result:
-    profiles: Dict[str, PatternProfile] = {}
-    for name in benchmarks:
-        workload = build(name, scale)
-        machine = Chex86Machine(assemble(workload.source, name=name),
-                                variant=Variant.UCODE_PREDICTION,
-                                config=config, halt_on_violation=False)
-        machine.trace_reloads = True
-        machine.run(max_instructions=max_instructions)
-        profiles[name] = profile_patterns(machine.reload_trace, min_events)
+        min_events: int = 6,
+        engine: Optional[EvalEngine] = None) -> Table2Result:
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config,
+                                        max_instructions, min_events))
+    profiles: Dict[str, PatternProfile] = {
+        name: cells[_spec(name, scale, config, max_instructions, min_events)]
+        for name in benchmarks
+    }
     return Table2Result(profiles=profiles)

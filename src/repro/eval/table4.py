@@ -8,7 +8,7 @@ synthetic SPEC suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.comparison import (
     TechniqueRow,
@@ -17,10 +17,9 @@ from ..analysis.comparison import (
     qualitative_claims,
 )
 from ..analysis.report import render_table
-from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
-from ..workloads import SPEC_NAMES, build
-from .common import run_benchmark
+from ..workloads import SPEC_NAMES
+from .engine import CellSpec, EvalEngine
 
 
 @dataclass
@@ -48,16 +47,34 @@ class Table4Result:
         return f"{table}\n\nQualitative claims:\n{claims}"
 
 
+def cell_specs(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
+               config: CoreConfig = DEFAULT_CONFIG,
+               max_instructions: int = 2_000_000) -> List[CellSpec]:
+    return [
+        CellSpec(workload=name, defense=label, scale=scale,
+                 max_instructions=max_instructions, config=config)
+        for name in benchmarks
+        for label in ("insecure", "ucode-prediction")
+    ]
+
+
 def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
         config: CoreConfig = DEFAULT_CONFIG,
-        max_instructions: int = 2_000_000) -> Table4Result:
+        max_instructions: int = 2_000_000,
+        engine: Optional[EvalEngine] = None) -> Table4Result:
+    engine = engine if engine is not None else EvalEngine.serial()
+    cells = engine.run_cells(cell_specs(scale, benchmarks, config,
+                                        max_instructions))
     slowdowns = []
     for name in benchmarks:
-        workload = build(name, scale)
-        baseline = run_benchmark(workload, Variant.INSECURE, config,
-                                 max_instructions)
-        chex = run_benchmark(workload, Variant.UCODE_PREDICTION, config,
-                             max_instructions)
+        baseline = cells[CellSpec(workload=name, defense="insecure",
+                                  scale=scale,
+                                  max_instructions=max_instructions,
+                                  config=config)]
+        chex = cells[CellSpec(workload=name, defense="ucode-prediction",
+                              scale=scale,
+                              max_instructions=max_instructions,
+                              config=config)]
         slowdowns.append(chex.cycles / baseline.cycles - 1.0)
     average = 100 * sum(slowdowns) / len(slowdowns)
     worst = 100 * max(slowdowns)

@@ -58,11 +58,15 @@ class MulticoreResult:
     @property
     def cycles(self) -> int:
         """Wall-clock of the parallel region: the slowest core."""
+        if not self.per_core:
+            return 0
         return max(result.cycles for result in self.per_core)
 
     @property
     def uop_expansion(self) -> float:
-        return self.uops / self.native_uops if self.native_uops else 1.0
+        """0.0 when no core decoded anything (repo-wide convention for
+        ratios with a zero denominator)."""
+        return self.uops / self.native_uops if self.native_uops else 0.0
 
     @property
     def violations(self) -> ViolationLog:

@@ -70,7 +70,9 @@ class TimingStats:
         return self.macro_ops / self.cycles if self.cycles else 0.0
 
     def bandwidth_mb_per_s(self, frequency_ghz: float) -> float:
-        if not self.cycles:
+        # Zero cycles *or* a zero clock yields 0.0 (the repo-wide
+        # zero-denominator convention), never ZeroDivisionError.
+        if not self.cycles or not frequency_ghz:
             return 0.0
         seconds = self.cycles / (frequency_ghz * 1e9)
         return self.total_dram_bytes / seconds / 1e6

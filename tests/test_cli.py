@@ -97,3 +97,44 @@ class TestTranslateFlag:
         out = capsys.readouterr().out
         assert "binary translation:" in out
         assert "out-of-bounds" in out
+
+
+class TestErrorHandling:
+    """User mistakes produce one line on stderr and exit status 2."""
+
+    def assert_exits_2(self, argv, capsys, expect=None):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.strip()
+        assert "Traceback" not in err
+        if expect:
+            assert expect in err
+        return err
+
+    def test_missing_assembly_file(self, capsys):
+        self.assert_exits_2(["run", "/no/such/prog.s"], capsys,
+                            expect="error:")
+
+    def test_unknown_workload(self, capsys):
+        self.assert_exits_2(["workload", "doom"], capsys)
+
+    def test_unknown_figure(self, capsys):
+        self.assert_exits_2(["figure", "42"], capsys)
+
+    def test_unknown_table(self, capsys):
+        self.assert_exits_2(["table", "42"], capsys)
+
+    def test_jobs_must_be_positive(self, capsys):
+        self.assert_exits_2(["figure", "6", "--jobs", "0"], capsys,
+                            expect="--jobs")
+
+    def test_engine_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "6", "--jobs", "2",
+                                  "--no-cache", "--cache-dir", "/tmp/c"])
+        assert args.jobs == 2 and args.no_cache
+        assert args.cache_dir == "/tmp/c"
+        args = parser.parse_args(["reproduce", "--jobs", "4"])
+        assert args.jobs == 4

@@ -1,0 +1,212 @@
+"""Tests for the shared evaluation engine (cells, cache, determinism)."""
+
+import json
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.eval import fig6, run_benchmark
+from repro.eval.common import BenchmarkRun
+from repro.eval.engine import (
+    CACHE_SCHEMA,
+    CellSpec,
+    EvalEngine,
+    compute_cell,
+    decode_result,
+    encode_result,
+)
+from repro.pipeline.config import DEFAULT_CONFIG
+from repro.workloads import build
+
+BUDGET = 200_000
+SMALL = ("perlbench", "lbm")
+
+
+def spec(workload="perlbench", defense="insecure", **kwargs):
+    kwargs.setdefault("max_instructions", BUDGET)
+    return CellSpec(workload=workload, defense=defense, **kwargs)
+
+
+class TestCellSpec:
+    def test_equal_configs_are_the_same_cell(self):
+        # Figure 7's default-sized sweep point is literally Figure 6's cell.
+        a = spec(config=DEFAULT_CONFIG.with_(capcache_entries=64))
+        b = spec(config=DEFAULT_CONFIG)
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_config_change_changes_key(self):
+        a = spec()
+        b = spec(config=DEFAULT_CONFIG.with_(capcache_entries=16))
+        assert a != b
+        assert a.cache_key() != b.cache_key()
+
+    def test_budget_and_scale_change_key(self):
+        base = spec()
+        assert spec(max_instructions=BUDGET + 1).cache_key() \
+            != base.cache_key()
+        assert spec(scale=2).cache_key() != base.cache_key()
+
+    def test_payload_round_trip(self):
+        original = spec(defense="ucode-prediction",
+                        config=DEFAULT_CONFIG.with_(predictor_entries=1024))
+        assert CellSpec.from_payload(original.payload()) == original
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError):
+            spec(defense="nonsense")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            spec(kind="nonsense")
+
+
+class TestBenchmarkRunRoundTrip:
+    def test_json_round_trip_equality(self):
+        run = run_benchmark(build("perlbench", 1), Variant.UCODE_PREDICTION,
+                            max_instructions=BUDGET)
+        revived = BenchmarkRun.from_dict(
+            json.loads(json.dumps(run.to_dict())))
+        assert revived == run
+        # Derived metrics recompute identically from the raw fields.
+        assert revived.capcache_miss_rate == run.capcache_miss_rate
+        assert revived.bandwidth_mb_per_s == run.bandwidth_mb_per_s
+
+    def test_missing_field_rejected(self):
+        record = run_benchmark(build("lbm", 1), Variant.INSECURE,
+                               max_instructions=BUDGET).to_dict()
+        del record["cycles"]
+        with pytest.raises(ValueError, match="cycles"):
+            BenchmarkRun.from_dict(record)
+
+    def test_matches_direct_run(self):
+        cell = spec(workload="lbm", defense="ucode-prediction")
+        assert compute_cell(cell) == run_benchmark(
+            build("lbm", 1), Variant.UCODE_PREDICTION,
+            max_instructions=BUDGET)
+
+
+class TestCache:
+    def test_cold_then_warm(self, tmp_path):
+        cell = spec()
+        cold = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        result = cold.get(cell)
+        assert cold.stats.computed == 1 and cold.stats.cached == 0
+
+        warm = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        assert warm.get(cell) == result
+        assert warm.stats.computed == 0 and warm.stats.cached == 1
+
+    def test_memo_dedupes_within_batch(self, tmp_path):
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        cell = spec()
+        engine.run_cells([cell, cell, cell])
+        assert engine.stats.computed == 1
+
+    def test_config_change_invalidates(self, tmp_path):
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        engine.get(spec())
+        other = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        other.get(spec(config=DEFAULT_CONFIG.with_(capcache_entries=16)))
+        assert other.stats.computed == 1 and other.stats.cached == 0
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        cell = spec()
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        expected = engine.get(cell)
+        path = tmp_path / cell.cache_filename()
+        path.write_text("{not json")
+        again = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        assert again.get(cell) == expected
+        assert again.stats.computed == 1
+
+    def test_schema_bump_is_a_miss(self, tmp_path):
+        cell = spec()
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        engine.get(cell)
+        path = tmp_path / cell.cache_filename()
+        record = json.loads(path.read_text())
+        assert record["schema"] == CACHE_SCHEMA
+        record["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(record))
+        again = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        again.get(cell)
+        assert again.stats.computed == 1 and again.stats.cached == 0
+
+    def test_no_cache_engine_writes_nothing(self, tmp_path):
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path),
+                            use_cache=False)
+        engine.get(spec())
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPatternsCells:
+    def test_round_trip(self, tmp_path):
+        cell = spec(defense="ucode-prediction", kind="patterns",
+                    min_events=6)
+        profile = compute_cell(cell)
+        assert profile.histogram  # perlbench has classified reload sites
+        revived = decode_result(
+            cell, json.loads(json.dumps(encode_result(cell, profile))))
+        assert revived == profile
+
+    def test_cached_patterns_cell(self, tmp_path):
+        cell = spec(defense="ucode-prediction", kind="patterns",
+                    min_events=6)
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        profile = engine.get(cell)
+        warm = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        assert warm.get(cell) == profile
+        assert warm.stats.cached == 1
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_identical(self, tmp_path):
+        serial = fig6.run(scale=1, benchmarks=SMALL,
+                          max_instructions=BUDGET,
+                          engine=EvalEngine(jobs=1, use_cache=False))
+        parallel = fig6.run(scale=1, benchmarks=SMALL,
+                            max_instructions=BUDGET,
+                            engine=EvalEngine(jobs=2,
+                                              cache_dir=str(tmp_path)))
+        assert serial.format_text() == parallel.format_text()
+        assert serial.runs == parallel.runs
+
+    def test_warm_rerun_renders_identically(self, tmp_path):
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        cold = fig6.run(scale=1, benchmarks=("lbm",),
+                        max_instructions=BUDGET, engine=engine)
+        warm_engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        warm = fig6.run(scale=1, benchmarks=("lbm",),
+                        max_instructions=BUDGET, engine=warm_engine)
+        assert warm_engine.stats.computed == 0
+        assert warm.format_text() == cold.format_text()
+
+    def test_engine_path_matches_legacy_direct_path(self):
+        # The engine must change *when* cells are simulated, never what
+        # they contain: compare against run_benchmark called directly.
+        result = fig6.run(scale=1, benchmarks=("lbm",),
+                          max_instructions=BUDGET)
+        direct = {
+            label: run_benchmark(build("lbm", 1), defense,
+                                 max_instructions=BUDGET)
+            for label, defense in fig6.FIG6_LABELS
+        }
+        assert result.runs["lbm"] == direct
+
+
+class TestEngineStats:
+    def test_summary_counts(self, tmp_path):
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path))
+        engine.run_cells([spec(), spec(defense="ucode-prediction")])
+        assert engine.stats.computed == 2
+        assert engine.stats.simulated_instructions > 0
+        assert "2 cell(s) simulated" in engine.stats.summary()
+
+    def test_progress_lines(self, tmp_path):
+        lines = []
+        engine = EvalEngine(jobs=1, cache_dir=str(tmp_path),
+                            echo=lines.append)
+        engine.get(spec())
+        assert any("perlbench/insecure" in line for line in lines)
+        assert any("engine:" in line for line in lines)

@@ -138,7 +138,7 @@ class TestReproduceRunner:
         from repro.eval import runner
 
         # Shrink the benchmark set so this stays test-sized.
-        def tiny_artifacts(scale, ripe_limit):
+        def tiny_artifacts(scale, ripe_limit, engine):
             from repro.eval import fig1, fig3, security, table3
             return [
                 ("fig1", lambda: fig1.run()),
@@ -149,6 +149,8 @@ class TestReproduceRunner:
             ]
 
         monkeypatch.setattr(runner, "_artifacts", tiny_artifacts)
+        # None of the tiny artifacts consume engine cells: skip prewarm.
+        monkeypatch.setattr(runner, "shared_cell_specs", lambda scale: [])
         records = runner.reproduce(out_dir=str(tmp_path), scale=1,
                                    ripe_limit=4, echo=lambda _line: None)
         assert [r.name for r in records] == ["fig1", "table3", "fig3",

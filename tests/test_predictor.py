@@ -120,3 +120,43 @@ class TestTableMechanics:
         # A falling stride never predicts a negative PID.
         train(predictor, PC, [9, 6, 3])
         assert predictor.predict(PC) >= 0
+
+
+class TestSlotAliasing:
+    """Index collisions must not corrupt the resident entry's predictions.
+
+    With 512 table entries and 4-byte instruction slots, two loads whose
+    pcs differ by 512 * 4 = 2048 bytes index the same predictor slot but
+    carry different tags.  The paper's Section V-C rationale for the
+    blacklist — avoid destructive aliasing in the predictor table —
+    applies to tag conflicts too: a colliding load may *contest* the
+    slot (and eventually evict it) but must never silently degrade the
+    resident instruction's stride confidence.
+    """
+
+    ALIAS_PC = PC + 512 * 4  # same slot as PC, different tag
+
+    def test_collision_does_not_degrade_confident_stride(self, predictor):
+        # Train load A to a fully confident +3 stride.
+        train(predictor, PC, [10, 13, 16, 19, 22])
+        assert predictor.predict(PC) == 25
+        # Two colliding reloads from load B (not enough to evict A).
+        predictor.update(self.ALIAS_PC, 0, 99)
+        predictor.update(self.ALIAS_PC, 0, 99)
+        # A's stride prediction is intact — not decayed to "last PID".
+        assert predictor.predict(PC) == 25
+
+    def test_collision_does_not_corrupt_training(self, predictor):
+        train(predictor, PC, [10, 13, 16, 19, 22])
+        predictor.update(self.ALIAS_PC, 0, 7)
+        # Training A continues from exactly where it left off.
+        assert train(predictor, PC, [25, 28, 31]) == [25, 28, 31]
+
+    def test_sustained_collisions_still_evict(self, predictor):
+        # Replacement must stay possible: a persistently colliding load
+        # eventually wins the slot outright.
+        train(predictor, PC, [10, 13, 16, 19, 22])
+        for _ in range(8):
+            predicted = predictor.predict(self.ALIAS_PC)
+            predictor.update(self.ALIAS_PC, predicted, 99)
+        assert predictor.predict(self.ALIAS_PC) == 99
