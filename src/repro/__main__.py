@@ -69,6 +69,38 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
 
 
+def _add_profile_args(parser: argparse.ArgumentParser,
+                      default_out: str = "profile.prof") -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulation: write a cProfile "
+                             "dump and print per-phase counters")
+    parser.add_argument("--profile-out", default=default_out, metavar="FILE",
+                        help=f"cProfile dump path (default: {default_out})")
+
+
+def _start_profiler(enabled: bool):
+    if not enabled:
+        return None
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _finish_profiler(profiler, path: str) -> None:
+    profiler.disable()
+    profiler.dump_stats(path)
+    print(f"profile: wrote {path} "
+          f"(inspect with `python -m pstats {path}`)", file=sys.stderr)
+
+
+def _print_phase_counters(counters) -> None:
+    print("phase counters:")
+    for counter, value in counters.items():
+        print(f"  {counter:32s} {value:>14,}")
+
+
 def _engine_from(args, echo) -> EvalEngine:
     if args.jobs is not None and args.jobs < 1:
         raise CliError(f"--jobs must be >= 1, got {args.jobs}")
@@ -103,11 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--translate", action="store_true",
                        help="statically instrument with capchk instructions "
                             "and run under the bt-isa-extension variant")
+    _add_profile_args(run_p)
 
     wl_p = sub.add_parser("workload", help="run a built-in benchmark")
     wl_p.add_argument("name", choices=BENCHMARK_ORDER)
     _add_variant_arg(wl_p)
     wl_p.add_argument("--scale", type=int, default=1)
+    _add_profile_args(wl_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", choices=sorted(_FIGURES))
@@ -134,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--scale", type=int, default=1)
     rep_p.add_argument("--ripe-limit", type=int, default=None)
     _add_engine_args(rep_p)
+    rep_p.add_argument("--profile", action="store_true",
+                       help="write profile.prof and a \"profile\" section "
+                            "(phase counters, top functions) in summary.json")
 
     sub.add_parser("list", help="list benchmarks, variants, suites")
     return parser
@@ -154,7 +191,11 @@ def cmd_run(args) -> int:
               f"instrumented (+{report.code_growth} instructions)")
     machine = Chex86Machine(program, variant=variant,
                             halt_on_violation=args.trap)
+    profiler = _start_profiler(args.profile)
     result = machine.run(max_instructions=args.max_instructions)
+    if profiler is not None:
+        _finish_profiler(profiler, args.profile_out)
+        _print_phase_counters(machine.phase_counters())
     print(machine.stats_summary())
     for violation in result.violations.violations:
         print(f"VIOLATION: {violation}")
@@ -170,7 +211,11 @@ def cmd_workload(args) -> int:
     from .eval.common import run_benchmark
 
     workload = build(args.name, args.scale)
+    profiler = _start_profiler(args.profile)
     run = run_benchmark(workload, _VARIANTS[args.variant])
+    if profiler is not None:
+        _finish_profiler(profiler, args.profile_out)
+        _print_phase_counters(run.phase_counters)
     print(f"{workload.name} ({workload.suite}, {workload.threads} thread(s)) "
           f"under {args.variant}:")
     print(f"  instructions      {run.instructions:>12,}")
@@ -240,7 +285,8 @@ def cmd_reproduce(args) -> int:
 
     engine = _engine_from(args, print)
     reproduce(out_dir=args.out, scale=args.scale,
-              ripe_limit=args.ripe_limit, engine=engine)
+              ripe_limit=args.ripe_limit, engine=engine,
+              profile=args.profile)
     return 0
 
 

@@ -27,6 +27,21 @@ _LEVEL_BITS = (9, 9, 9, 9, 9)
 NODE_BYTES = 512 * 8
 
 
+def _shift_masks(bits: Tuple[int, ...]) -> Tuple[Tuple[int, int], ...]:
+    pairs = []
+    shift = sum(bits)
+    for width in bits:
+        shift -= width
+        pairs.append((shift, (1 << width) - 1))
+    return tuple(pairs)
+
+
+#: Per-level (shift, mask) pairs over the word index, precomputed: the
+#: table traversals run on the load/store hot path.
+_UPPER_SHIFT_MASKS = _shift_masks(_LEVEL_BITS)[:-1]
+_LEAF_MASK = (1 << _LEVEL_BITS[-1]) - 1
+
+
 @dataclass
 class AliasTableStats:
     walks: int = 0
@@ -54,39 +69,39 @@ class ShadowAliasTable:
     @staticmethod
     def _indices(address: int) -> Tuple[int, ...]:
         word = address >> 3
-        out = []
-        shift = sum(_LEVEL_BITS)
-        for bits in _LEVEL_BITS:
-            shift -= bits
-            out.append((word >> shift) & ((1 << bits) - 1))
-        return tuple(out)
+        return tuple((word >> shift) & mask
+                     for shift, mask in _UPPER_SHIFT_MASKS) \
+            + (word & _LEAF_MASK,)
 
     def set(self, address: int, pid: int) -> None:
         """Record that the word at ``address`` holds a spilled PID."""
         if pid == 0:
             self.clear(address)
             return
+        word = address >> 3
         node = self._root
-        *upper, leaf_index = self._indices(address)
-        for index in upper:
+        for shift, mask in _UPPER_SHIFT_MASKS:
+            index = (word >> shift) & mask
             nxt = node.get(index)
             if nxt is None:
                 nxt = {}
                 node[index] = nxt
                 self._nodes += 1
             node = nxt
+        leaf_index = word & _LEAF_MASK
         if leaf_index not in node:
             self.stats.entries_set += 1
         node[leaf_index] = pid
 
     def clear(self, address: int) -> None:
         """A non-pointer value overwrote the word: drop any alias entry."""
+        word = address >> 3
         node = self._root
-        *upper, leaf_index = self._indices(address)
-        for index in upper:
-            node = node.get(index)
+        for shift, mask in _UPPER_SHIFT_MASKS:
+            node = node.get((word >> shift) & mask)
             if node is None:
                 return
+        leaf_index = word & _LEAF_MASK
         if leaf_index in node:
             del node[leaf_index]
             self.stats.entries_cleared += 1
@@ -97,28 +112,29 @@ class ShadowAliasTable:
         Touches up to :data:`WALK_LEVELS` levels; the level count feeds the
         walk-latency model.
         """
-        self.stats.walks += 1
+        stats = self.stats
+        stats.walks += 1
+        word = address >> 3
         node = self._root
-        *upper, leaf_index = self._indices(address)
         touched = 1
-        for index in upper:
-            node = node.get(index)
+        for shift, mask in _UPPER_SHIFT_MASKS:
+            node = node.get((word >> shift) & mask)
             if node is None:
-                self.stats.levels_touched += touched
+                stats.levels_touched += touched
                 return 0
             touched += 1
-        self.stats.levels_touched += touched
-        return node.get(leaf_index, 0)
+        stats.levels_touched += touched
+        return node.get(word & _LEAF_MASK, 0)
 
     def peek(self, address: int) -> int:
         """Walk without stats (checker / debugging)."""
+        word = address >> 3
         node = self._root
-        *upper, leaf_index = self._indices(address)
-        for index in upper:
-            node = node.get(index)
+        for shift, mask in _UPPER_SHIFT_MASKS:
+            node = node.get((word >> shift) & mask)
             if node is None:
                 return 0
-        return node.get(leaf_index, 0)
+        return node.get(word & _LEAF_MASK, 0)
 
     @property
     def shadow_bytes(self) -> int:

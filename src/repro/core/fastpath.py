@@ -1,0 +1,96 @@
+"""Decoded-block fast path: a per-static-site front-end cache.
+
+The paper's front end motivates this (Figure 2): x86 cores avoid
+re-decoding hot code with a decoded-uop cache (the DSB), and CHEx86
+injects its capability micro-ops at exactly that decode boundary.  The
+whole front-end product of one static instruction — native micro-ops,
+heap-interception plan, ``capCheck`` injection plan, fetch-slot count,
+MSROM flag — is therefore a pure function of ``(program, pc, variant)``
+and can be compiled once.  ``Chex86Machine.step()`` replays the
+precompiled plan per dynamic instance; only the tracker-dependent
+decisions (the base register's PID, predicted reloads) stay live.
+
+Per-instance statistics stay exact: the replay path charges decode
+counters, interception deltas, and check injection/suppression counters
+for every dynamic execution, so a fast-path run is bit-identical to the
+old decode-every-step loop — including all ``results/*.txt`` artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.instructions import INSTR_SLOT, Instr
+from ..microop.decoder import DecodePath
+
+
+@dataclass(slots=True)
+class DecodedBlock:
+    """Everything the front end produces for one static instruction.
+
+    ``entries`` holds one ``(handler, uop, base_reg, check_mode,
+    check_template)`` tuple per micro-op in issue order (MCU-injected
+    interception uops first, then the native translation).  ``base_reg``
+    is the extended index of the addressing base register (-1 when the
+    access has none or no check decision is needed); ``check_mode`` is a
+    ``repro.core.mcu.CHECK_*`` constant.
+    """
+
+    instr: Instr
+    macro_index: int
+    path: DecodePath
+    native_uops: int
+    fetch_slots: int
+    msrom: bool
+    fallthrough: int
+    intercept_deltas: Optional[Tuple[int, int, int, int, int]]
+    entries: Tuple[tuple, ...]
+
+
+def compile_block(machine, pc: int) -> DecodedBlock:
+    """Compile the front-end plan for the instruction at ``pc``.
+
+    Raises ValueError (from ``Program.fetch``) when ``pc`` is outside the
+    text section; the machine turns that into its usual MachineError.
+    """
+    program = machine.program
+    instr = program.fetch(pc)
+    macro_index = program.index_of(pc)
+    uops, path = machine.decoder.translation(
+        instr, pc, macro_index, id(program))
+    injected, deltas = machine.mcu.intercept_plan(pc)
+
+    traits = machine.traits
+    fetch_slots = 1
+    if traits.checks_in_macro_stream and any(u.is_mem for u in uops):
+        fetch_slots = 2
+    msrom = path is DecodePath.MSROM or bool(injected)
+
+    track = traits.tracks_pointers
+    dispatch = machine._dispatch
+    entries = []
+    for uop in injected + list(uops):
+        base_reg = -1
+        mode = 0
+        check = None
+        if track and uop.is_mem and not uop.injected:
+            mode, check = machine.mcu.static_check_plan(pc, uop)
+            if check is not None:
+                check.macro_index = macro_index
+            mem = uop.mem
+            if mem is not None and mem.base is not None:
+                base_reg = int(mem.base)
+        entries.append((dispatch[uop.kind], uop, base_reg, mode, check))
+
+    return DecodedBlock(
+        instr=instr,
+        macro_index=macro_index,
+        path=path,
+        native_uops=len(uops),
+        fetch_slots=fetch_slots,
+        msrom=msrom,
+        fallthrough=pc + INSTR_SLOT,
+        intercept_deltas=deltas if any(deltas) else None,
+        entries=tuple(entries),
+    )

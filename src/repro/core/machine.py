@@ -31,7 +31,7 @@ from ..isa.program import Program, STACK_TOP
 from ..isa.registers import MASK64, RET_REG, Flag, Reg, compute_flags, to_s64
 from ..memory.cache import SetAssocCache
 from ..memory.tlb import Tlb
-from ..microop.decoder import DecodePath, Decoder
+from ..microop.decoder import Decoder, DecodePath
 from ..microop.uops import AluOp, NUM_UREGS, Uop, UopKind
 from ..pipeline.branch import FrontEndPredictors
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
@@ -39,7 +39,12 @@ from ..pipeline.timing import FuType, TimingModel
 from .alias import AliasCache, StoreBufferPids, WALK_LEVELS
 from .capability import CAPABILITY_BYTES, WILD_PID
 from .checker import HardwareChecker
-from .mcu import MicrocodeCustomizationUnit
+from .fastpath import DecodedBlock, compile_block
+from .mcu import (
+    CHECK_INJECT,
+    CHECK_SUPPRESS,
+    MicrocodeCustomizationUnit,
+)
 from .predictor import MispredictKind, PointerReloadPredictor
 from .rules import MEMORY_POLICY, RuleDatabase
 from .tracker import SpeculativePointerTracker
@@ -166,6 +171,42 @@ class Chex86Machine:
 
         # Checker co-processor (rule auto-construction workflow).
         self.checker = HardwareChecker(self.captable) if enable_checker else None
+
+        # Hot-loop caches: variant/config facts that never change per run.
+        self._tracks = self.traits.tracks_pointers
+        self._validate = self._tracks and self.checker is not None
+        self._tracked_policy = self.traits.check_policy is CheckPolicy.TRACKED
+        self._lsu = self.mcu.lsu_checks()
+        self._lsu_latency = config.lsu_check_latency
+        self._br_penalty = config.branch_mispredict_penalty
+        self._flush_penalty = config.alias_flush_penalty
+        self._capcheck_latency = config.capcheck_latency
+        self._captable_latency = config.captable_latency
+        self._walk_latency = config.alias_walk_level_latency * WALK_LEVELS
+
+        # Decoded-block fast path: per-pc precompiled front-end plans and
+        # the UopKind-indexed execute dispatch table (built once per core).
+        self._blocks: Dict[int, DecodedBlock] = {}
+        self._dispatch: Dict[UopKind, Callable] = {
+            UopKind.LD: self._exec_load,
+            UopKind.ST: self._exec_store,
+            UopKind.ALU: self._exec_alu,
+            UopKind.LIMM: self._exec_limm,
+            UopKind.MOV: self._exec_mov,
+            UopKind.LEA: self._exec_lea,
+            UopKind.BR: self._exec_br,
+            UopKind.JMP: self._exec_jmp,
+            UopKind.JMP_IND: self._exec_jmp_ind,
+            UopKind.CAPCHECK: self._exec_capcheck,
+            UopKind.CAPGEN_BEGIN: self._exec_capgen_begin,
+            UopKind.CAPGEN_END: self._exec_capgen_end,
+            UopKind.CAPFREE_BEGIN: self._exec_capfree_begin,
+            UopKind.CAPFREE_END: self._exec_capfree_end,
+            UopKind.HOSTOP: self._exec_hostop,
+            UopKind.NOP: self._exec_nop,
+            UopKind.ZERO_IDIOM: self._exec_zero_idiom,
+            UopKind.HALT: self._exec_halt,
+        }
 
         # Capability event state (pending two-step generations/frees).
         self._pending_gens: List[int] = []
@@ -316,69 +357,98 @@ class Chex86Machine:
         )
 
     def step(self) -> None:
-        """Fetch, decode, instrument, and execute one macro instruction."""
+        """Fetch, decode, instrument, and execute one macro instruction.
+
+        The front end runs through the decoded-block fast path: the first
+        visit to a pc compiles its full front-end product (decode +
+        interception + check-injection plan) into a :class:`DecodedBlock`;
+        every later visit replays the plan and only consults the live
+        tracker state (base-register PIDs) where the paper's prediction
+        policy demands it.
+        """
         pc = self.rip
-        try:
-            instr = self.program.fetch(pc)
-        except ValueError as exc:
-            raise MachineError(
-                f"control transfer outside text: rip={pc:#x}") from exc
-        macro_index = self.program.index_of(pc)
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._compile_block(pc)
         if self.trace_limit and len(self.execution_trace) < self.trace_limit:
-            self.execution_trace.append((pc, instr))
-        uops, path = self.decoder.decode(instr, pc, macro_index,
-                                         id(self.program))
-        self.native_uops += len(uops)
+            self.execution_trace.append((pc, block.instr))
 
-        injected = self.mcu.intercept(pc)
-        stream: List[Uop] = injected + uops if injected else uops
+        # Per-dynamic-instance front-end accounting (decode counters,
+        # heap-interception events) — identical to re-decoding every step.
+        dstats = self.decoder.stats
+        dstats.macro_ops += 1
+        dstats.native_uops += block.native_uops
+        path = block.path
+        if path is DecodePath.SIMPLE:
+            dstats.simple += 1
+        elif path is DecodePath.COMPLEX:
+            dstats.complex += 1
+        else:
+            dstats.msrom += 1
+        self.native_uops += block.native_uops
+        mcu = self.mcu
+        if block.intercept_deltas is not None:
+            mcu.apply_intercept_stats(block.intercept_deltas)
+        self.timing.begin_macro(pc, block.fetch_slots, block.msrom)
 
-        fetch_slots = 1
-        if (self.traits.checks_in_macro_stream
-                and any(u.is_mem for u in uops)):
-            fetch_slots = 2  # BT check instructions ride in the macro stream
-        self.timing.begin_macro(pc, fetch_slots,
-                                msrom=path is DecodePath.MSROM or bool(injected))
+        next_rip = block.fallthrough
+        mstats = mcu.stats
+        tracker = self.tracker
+        seq = self._seq
+        uops = 0
+        # The sequence number and uop count advance in locals and sync back
+        # in the finally block, so a trapping violation mid-instruction
+        # still leaves the machine state exact.
+        try:
+            for handler, uop, base_reg, mode, check in block.entries:
+                # ---- front end: pointer tracking + check injection --------
+                if mode:
+                    base_pid = tracker.current_pid(base_reg) \
+                        if base_reg >= 0 else 0
+                    if check is not None:
+                        # An injection site; the *_IF_PID mode defers to the
+                        # live tracker tag (prediction-driven policy).
+                        if mode == CHECK_INJECT or base_pid:
+                            mstats.injected_uops += 1
+                            mstats.capchecks += 1
+                            check.pid = base_pid
+                            seq += 1
+                            uops += 1
+                            self._exec_capcheck(check, pc, seq)
+                            if self.halted:
+                                break
+                    elif mode == CHECK_SUPPRESS or base_pid:
+                        # Context-sensitive mode outside the critical ranges.
+                        mstats.capchecks_suppressed_context += 1
 
-        next_rip = pc + INSTR_SLOT
-        track = self.traits.tracks_pointers
-        for uop in stream:
-            # ---- front end: pointer tracking + check injection ------------
-            base_pid = 0
-            if track and uop.is_mem and not uop.injected:
-                base_pid = self.tracker.base_pid(uop)
-                check = self.mcu.check_for(pc, uop, base_pid)
-                if check is not None:
-                    check.macro_index = macro_index
-                    self._seq += 1
-                    self.total_uops += 1
-                    self._execute_uop(check, pc, self._seq, base_pid)
-                    if self.halted:
-                        break
-
-            self._seq += 1
-            seq = self._seq
-            self.total_uops += 1
-            target = self._execute_uop(uop, pc, seq, base_pid)
-            if target is not None:
-                next_rip = target
-            if self.halted:
-                break
+                seq += 1
+                uops += 1
+                target = handler(uop, pc, seq)
+                if target is not None:
+                    next_rip = target
+                if self.halted:
+                    break
+        finally:
+            self._seq = seq
+            self.total_uops += uops
 
         # ---- commit ----------------------------------------------------------
         self.instructions += 1
-        if self.traits.tracks_pointers:
-            self.tracker.commit(self._seq)
-            committed = self.store_buffer.commit_upto(
-                self._seq, self.alias_table, self.alias_cache)
-            for address, pid in committed:
-                if pid:
-                    self.tlb.mark_alias_hosting(address)
-                self.system.broadcast_alias_invalidate(address, self.core_id)
+        if self._tracks:
+            tracker.commit(seq)
+            if self.store_buffer._pending:
+                committed = self.store_buffer.commit_upto(
+                    seq, self.alias_table, self.alias_cache)
+                for address, pid in committed:
+                    if pid:
+                        self.tlb.mark_alias_hosting(address)
+                    self.system.broadcast_alias_invalidate(
+                        address, self.core_id)
         if self.instructions % self.profile_interval == 0:
             self.interval_pid_counts.append(len(self._interval_pids))
             self._interval_pids = set()
         if self.bbv_interval:
+            macro_index = block.macro_index
             self._bbv_current[macro_index] = \
                 self._bbv_current.get(macro_index, 0) + 1
             if self.instructions % self.bbv_interval == 0:
@@ -386,71 +456,102 @@ class Chex86Machine:
                 self._bbv_current = {}
         self.rip = next_rip
 
+    def _compile_block(self, pc: int) -> DecodedBlock:
+        try:
+            block = compile_block(self, pc)
+        except ValueError as exc:
+            raise MachineError(
+                f"control transfer outside text: rip={pc:#x}") from exc
+        self._blocks[pc] = block
+        return block
+
+    def phase_counters(self) -> Dict[str, int]:
+        """Flat per-phase cycle/uop counters (the ``--profile`` surface).
+
+        Groups the front-end, issue, memory, and commit statistics that the
+        hot loop accumulates, plus fast-path coverage, keyed
+        ``phase.counter`` for stable JSON emission.
+        """
+        timing = self.timing.finish()
+        decode = self.decoder.stats
+        mstats = self.mcu.stats
+        counters = {
+            "frontend.fetch_groups": timing.fetch_groups,
+            "frontend.icache_misses": timing.icache_misses,
+            "frontend.blocks_compiled": len(self._blocks),
+            "decode.macro_ops": decode.macro_ops,
+            "decode.simple": decode.simple,
+            "decode.complex": decode.complex,
+            "decode.msrom": decode.msrom,
+            "decode.native_uops": decode.native_uops,
+            "decode.injected_uops": mstats.injected_uops,
+            "decode.capchecks": mstats.capchecks,
+            "decode.capchecks_suppressed": mstats.capchecks_suppressed_context,
+            "execute.uops": timing.uops,
+            "execute.loads": timing.loads,
+            "execute.stores": timing.stores,
+            "memory.l1d_misses": timing.l1d_misses,
+            "memory.l2_misses": timing.l2_misses,
+            "memory.dram_bytes": timing.dram_bytes,
+            "memory.shadow_dram_bytes": timing.shadow_dram_bytes,
+            "commit.instructions": self.instructions,
+            "commit.cycles": timing.cycles,
+            "commit.squash_cycles": timing.squash_cycles,
+            "commit.branch_squash_cycles": timing.branch_squash_cycles,
+            "commit.alias_squash_cycles": timing.alias_squash_cycles,
+            "commit.rob_stall_events": timing.rob_stall_events,
+        }
+        for name, count in zip(FuType.NAMES, timing.fu_uops):
+            counters[f"execute.fu_{name}_uops"] = count
+        return counters
+
     # ------------------------------------------------------------ uop execute
 
     def _execute_uop(self, uop: Uop, pc: int, seq: int,
-                     base_pid: int) -> Optional[int]:
+                     base_pid: int = 0) -> Optional[int]:
         """Execute one micro-op functionally and charge its timing.
 
-        Returns a control-flow target when the uop redirects fetch.
+        Dispatches through the per-kind handler table (the fast path calls
+        the handlers directly).  Returns a control-flow target when the uop
+        redirects fetch.
         """
-        kind = uop.kind
-        if kind is UopKind.LD:
-            self._exec_load(uop, pc, seq)
-            return None
-        if kind is UopKind.ST:
-            self._exec_store(uop, pc, seq)
-            return None
-        if kind is UopKind.ALU:
-            self._exec_alu(uop, pc, seq)
-            return None
-        if kind is UopKind.LIMM:
-            self.regs[uop.dst] = uop.imm & MASK64
-            self._track(uop, seq)
-            self.timing.schedule((), uop.dst, 1)
+        handler = self._dispatch.get(uop.kind)
+        if handler is None:
+            raise MachineError(f"unknown uop kind {uop.kind}")
+        return handler(uop, pc, seq)
+
+    def _exec_limm(self, uop: Uop, pc: int, seq: int) -> None:
+        self.regs[uop.dst] = uop.imm & MASK64
+        if self._tracks:
+            self.tracker.apply(uop, seq)
+        self.timing.schedule((), uop.dst, 1)
+        if self._validate:
             self._check_rule(uop, pc)
-            return None
-        if kind is UopKind.MOV:
-            self.regs[uop.dst] = self.regs[uop.srcs[0]]
-            self._track(uop, seq)
-            self.timing.schedule(uop.srcs, uop.dst, 1)
+
+    def _exec_mov(self, uop: Uop, pc: int, seq: int) -> None:
+        self.regs[uop.dst] = self.regs[uop.srcs[0]]
+        if self._tracks:
+            self.tracker.apply(uop, seq)
+        self.timing.schedule(uop.srcs, uop.dst, 1)
+        if self._validate:
             self._check_rule(uop, pc)
-            return None
-        if kind is UopKind.LEA:
-            self.regs[uop.dst] = self._effective_address(uop)
-            self._track(uop, seq)
-            self.timing.schedule(uop.reg_reads(), uop.dst, 1)
+
+    def _exec_lea(self, uop: Uop, pc: int, seq: int) -> None:
+        self.regs[uop.dst] = self._effective_address(uop)
+        if self._tracks:
+            self.tracker.apply(uop, seq)
+        self.timing.schedule(uop.reg_reads(), uop.dst, 1)
+        if self._validate:
             self._check_rule(uop, pc)
-            return None
-        if kind in (UopKind.BR, UopKind.JMP, UopKind.JMP_IND):
-            return self._exec_branch(uop, pc, seq)
-        if kind is UopKind.CAPCHECK:
-            self._exec_capcheck(uop, pc)
-            return None
-        if kind is UopKind.CAPGEN_BEGIN:
-            self._exec_capgen_begin(uop, pc)
-            return None
-        if kind is UopKind.CAPGEN_END:
-            self._exec_capgen_end(uop, seq)
-            return None
-        if kind is UopKind.CAPFREE_BEGIN:
-            self._exec_capfree_begin(uop, pc)
-            return None
-        if kind is UopKind.CAPFREE_END:
-            self._exec_capfree_end()
-            return None
-        if kind is UopKind.HOSTOP:
-            self._exec_hostop(uop, seq)
-            return None
-        if kind is UopKind.NOP:
-            self.timing.schedule((), None, 1)
-            return None
-        if kind is UopKind.ZERO_IDIOM:
-            return None  # squashed at the instruction queue: zero cost
-        if kind is UopKind.HALT:
-            self.halted = True
-            return None
-        raise MachineError(f"unknown uop kind {kind}")  # pragma: no cover
+
+    def _exec_nop(self, uop: Uop, pc: int, seq: int) -> None:
+        self.timing.schedule((), None, 1)
+
+    def _exec_zero_idiom(self, uop: Uop, pc: int, seq: int) -> None:
+        pass  # squashed at the instruction queue: zero cost
+
+    def _exec_halt(self, uop: Uop, pc: int, seq: int) -> None:
+        self.halted = True
 
     # -- memory ops ---------------------------------------------------------------
 
@@ -460,14 +561,14 @@ class Chex86Machine:
         self.regs[uop.dst] = value
         self.tlb.access(address)
         latency = self.timing.mem_access(address, is_store=False)
-        if self.mcu.lsu_checks():
+        if self._lsu:
             # Hardware-only variant: the capability check is fused into the
             # load/store unit ahead of the access, lengthening every load's
             # critical path (the paper's stated drawback of this variant).
-            latency += self.config.lsu_check_latency
+            latency += self._lsu_latency
         done = self.timing.schedule(uop.reg_reads(), uop.dst, latency,
                                     FuType.LOAD)
-        if self.traits.tracks_pointers:
+        if self._tracks:
             # The rule database decides whether loads propagate PIDs from
             # memory (Table I's LD rule); without it the destination is
             # simply zeroed — which is what the checker co-processor then
@@ -475,8 +576,9 @@ class Chex86Machine:
             policy = self.tracker.apply(uop, seq)
             if policy is MEMORY_POLICY:
                 self._resolve_reload(uop, pc, address & ~7, seq, done)
-            self._check_rule(uop, pc)
-        if self.mcu.lsu_checks():
+            if self._validate:
+                self._check_rule(uop, pc)
+        if self._lsu:
             self._lsu_check(uop, address, write=False, pc=pc)
 
     def _exec_store(self, uop: Uop, pc: int, seq: int) -> None:
@@ -486,11 +588,11 @@ class Chex86Machine:
         self.tlb.access(address)
         self.timing.mem_access(address, is_store=True)
         store_latency = 1
-        if self.mcu.lsu_checks():
-            store_latency += self.config.lsu_check_latency
+        if self._lsu:
+            store_latency += self._lsu_latency
         self.timing.schedule(uop.reg_reads(), None, store_latency,
                              FuType.STORE)
-        if self.traits.tracks_pointers:
+        if self._tracks:
             policy = self.tracker.apply(uop, seq)
             if policy is MEMORY_POLICY:
                 src_pid = (self.tracker.current_pid(uop.srcs[0])
@@ -500,7 +602,7 @@ class Chex86Machine:
                     # wild sentinel stays register-resident (Section V-A).
                     src_pid = 0
                 self.store_buffer.record(seq, address & ~7, src_pid)
-        if self.mcu.lsu_checks():
+        if self._lsu:
             self._lsu_check(uop, address, write=True, pc=pc)
 
     def _resolve_reload(self, uop: Uop, pc: int, address: int, seq: int,
@@ -525,13 +627,11 @@ class Chex86Machine:
             # below recovers, and the blacklist entry is retrained.
             actual = self.alias_table.peek(address)
             if actual:
-                walk_latency = (self.config.alias_walk_level_latency
-                                * WALK_LEVELS)
                 # Upper radix levels hit the walker's paging-structure
                 # caches; only the leaf (and occasionally one directory)
                 # entry moves from memory.
-                self.timing.shadow_access(walk_latency, 16)
-                self.timing.occupy(FuType.WALKER, done, walk_latency)
+                self.timing.shadow_access(self._walk_latency, 16)
+                self.timing.occupy(FuType.WALKER, done, self._walk_latency)
                 self.alias_cache.install(address, actual)
         elif self.tlb.page_hosts_aliases(address):
             actual, hit = self.alias_cache.lookup(address, self.alias_table)
@@ -539,19 +639,17 @@ class Chex86Machine:
                 # The hardware walker traverses up to five levels; it is
                 # off the load's critical path but occupies the walker
                 # and moves shadow traffic.
-                walk_latency = (self.config.alias_walk_level_latency
-                                * WALK_LEVELS)
-                self.timing.shadow_access(walk_latency, 16)
-                self.timing.occupy(FuType.WALKER, done, walk_latency)
+                self.timing.shadow_access(self._walk_latency, 16)
+                self.timing.occupy(FuType.WALKER, done, self._walk_latency)
         else:
             actual = 0
         outcome = self.reload_predictor.update(pc, predicted, actual)
-        if self.traits.check_policy is CheckPolicy.TRACKED:
+        if self._tracked_policy:
             if outcome == MispredictKind.P0AN:
                 # Missing check: flush, squash, re-inject (Figure 5d).
                 # The flush resolves when the load's effective address (and
                 # thus the alias lookup) is available — the load's done cycle.
-                self.timing.redirect(done, self.config.alias_flush_penalty,
+                self.timing.redirect(done, self._flush_penalty,
                                      alias=True)
                 self.tracker.squash(seq)
                 self.store_buffer.squash_after(seq)
@@ -570,57 +668,77 @@ class Chex86Machine:
 
     def _exec_alu(self, uop: Uop, pc: int, seq: int) -> None:
         alu = uop.alu
-        operands = [self.regs[s] for s in uop.srcs]
-        if uop.imm is not None:
-            operands.append(uop.imm & MASK64)
-        result, carry, overflow = _alu_compute(alu, operands)
+        # Operand order matches the decoded form: register sources first,
+        # then the immediate (at most two operands reach the ALU).
+        srcs = uop.srcs
+        regs = self.regs
+        imm = uop.imm
+        if srcs:
+            a = regs[srcs[0]]
+            if len(srcs) > 1:
+                b = regs[srcs[1]]
+            elif imm is not None:
+                b = imm & MASK64
+            else:
+                b = 0
+        elif imm is not None:
+            a = imm & MASK64
+            b = 0
+        else:
+            a = b = 0
+        result, carry, overflow = _alu_binary(alu, a, b)
         if alu not in (AluOp.CMP, AluOp.TEST) and uop.dst is not None:
             self.regs[uop.dst] = result
         if uop.writes_flags:
             self.flags = compute_flags(result, carry, overflow)
-        if self.traits.tracks_pointers:
-            self._track(uop, seq)
-        fu = FuType.MULT if alu is AluOp.MUL else FuType.ALU
-        latency = 3 if alu is AluOp.MUL else 1
+        if self._tracks:
+            self.tracker.apply(uop, seq)
+        if alu is AluOp.MUL:
+            fu, latency = FuType.MULT, 3
+        else:
+            fu, latency = FuType.ALU, 1
         self.timing.schedule(uop.srcs, uop.dst, latency, fu,
-                             reads_flags=uop.reads_flags,
-                             writes_flags=uop.writes_flags)
-        if uop.dst is not None:
+                             uop.reads_flags, uop.writes_flags)
+        if self._validate and uop.dst is not None:
             self._check_rule(uop, pc)
 
-    def _exec_branch(self, uop: Uop, pc: int, seq: int) -> Optional[int]:
-        kind = uop.kind
-        done = self.timing.schedule(uop.srcs, None, 1, FuType.ALU,
-                                    reads_flags=kind is UopKind.BR)
-        if kind is UopKind.JMP:
-            # Direct jumps/calls: target known at decode; push calls on RAS.
-            instr_op = self.program.instrs[uop.macro_index].op \
-                if 0 <= uop.macro_index < len(self.program.instrs) else None
-            if instr_op is Op.CALL:
-                self.predictors.on_call(pc + INSTR_SLOT)
+    def _exec_jmp(self, uop: Uop, pc: int, seq: int) -> Optional[int]:
+        self.timing.schedule(uop.srcs, None, 1, FuType.ALU)
+        # Direct jumps/calls: target known at decode; push calls on RAS.
+        instrs = self.program.instrs
+        macro_index = uop.macro_index
+        if 0 <= macro_index < len(instrs) \
+                and instrs[macro_index].op is Op.CALL:
+            self.predictors.on_call(pc + INSTR_SLOT)
+        self.timing.taken_branch()
+        return uop.target
+
+    def _exec_br(self, uop: Uop, pc: int, seq: int) -> Optional[int]:
+        done = self.timing.schedule(uop.srcs, None, 1, FuType.ALU, True)
+        taken = _branch_taken(uop.cond, self.flags)
+        correct = self.predictors.resolve_conditional(pc, taken)
+        if not correct:
+            self.timing.redirect(done, self._br_penalty)
+            if self._tracks:
+                self.tracker.squash(seq)
+                self.store_buffer.squash_after(seq)
+        elif taken:
             self.timing.taken_branch()
-            return uop.target
-        if kind is UopKind.BR:
-            taken = _branch_taken(uop.cond, self.flags)
-            correct = self.predictors.resolve_conditional(pc, taken)
-            if not correct:
-                self.timing.redirect(done,
-                                     self.config.branch_mispredict_penalty)
-                if self.traits.tracks_pointers:
-                    self.tracker.squash(seq)
-                    self.store_buffer.squash_after(seq)
-            elif taken:
-                self.timing.taken_branch()
-            return uop.target if taken else None
+        return uop.target if taken else None
+
+    def _exec_jmp_ind(self, uop: Uop, pc: int, seq: int) -> Optional[int]:
         # Indirect jump (function return in this ISA).
+        done = self.timing.schedule(uop.srcs, None, 1, FuType.ALU)
         actual = self.regs[uop.srcs[0]]
-        instr_op = self.program.instrs[uop.macro_index].op \
-            if 0 <= uop.macro_index < len(self.program.instrs) else None
+        instrs = self.program.instrs
+        macro_index = uop.macro_index
+        instr_op = instrs[macro_index].op \
+            if 0 <= macro_index < len(instrs) else None
         correct = self.predictors.resolve_indirect(
             pc, actual, is_return=instr_op is Op.RET)
         if not correct:
-            self.timing.redirect(done, self.config.branch_mispredict_penalty)
-            if self.traits.tracks_pointers:
+            self.timing.redirect(done, self._br_penalty)
+            if self._tracks:
                 self.tracker.squash(seq)
                 self.store_buffer.squash_after(seq)
         else:
@@ -629,7 +747,7 @@ class Chex86Machine:
 
     # -- capability micro-ops ---------------------------------------------------------------
 
-    def _exec_capcheck(self, uop: Uop, pc: int) -> None:
+    def _exec_capcheck(self, uop: Uop, pc: int, seq: int = 0) -> None:
         # Injected checks carry the PID the MCU attached at decode; native
         # capchk ISA-extension instructions (the binary-translation path)
         # resolve it from the pointer tracker here.
@@ -641,20 +759,20 @@ class Chex86Machine:
             # that no capability governs the address — the Watchdog-style
             # cost of indiscriminate instrumentation the paper measures at
             # ~40% (Section VII-C).
-            self.timing.shadow_access(self.config.capcheck_latency, 8)
+            self.timing.shadow_access(self._capcheck_latency, 8)
             self.timing.schedule(uop.reg_reads(), None,
-                                 self.config.capcheck_latency, FuType.CMU,
-                                 occupancy=self.config.capcheck_latency)
+                                 self._capcheck_latency, FuType.CMU,
+                                 False, False, self._capcheck_latency)
             return
-        latency = self.config.capcheck_latency
+        latency = self._capcheck_latency
         if not self.capcache.access(pid):
             # Capability-cache miss: the shadow-table fetch delays this
             # check's completion but the CMU itself stays pipelined (the
             # fetch rides the walker/memory path).
-            latency += self.config.captable_latency
+            latency += self._captable_latency
             self.timing.shadow_access(latency, CAPABILITY_BYTES)
         self.timing.schedule(uop.reg_reads(), None, latency, FuType.CMU,
-                             occupancy=self.config.capcheck_latency)
+                             False, False, self._capcheck_latency)
         violation = self.captable.check(pid, address, 8,
                                         write=uop.check_write)
         if violation is not None:
@@ -673,7 +791,7 @@ class Chex86Machine:
         if base_pid == 0:
             return
         if not self.capcache.access(base_pid):
-            latency = self.config.captable_latency
+            latency = self._captable_latency
             self.timing.shadow_access(latency, CAPABILITY_BYTES)
             self.timing.occupy(FuType.CMU, self.timing.now, latency)
         violation = self.captable.check(base_pid, address, 8, write=write)
@@ -682,7 +800,7 @@ class Chex86Machine:
         elif base_pid > 0:
             self._interval_pids.add(base_pid)
 
-    def _exec_capgen_begin(self, uop: Uop, pc: int) -> None:
+    def _exec_capgen_begin(self, uop: Uop, pc: int, seq: int = 0) -> None:
         size = 1
         for src in uop.srcs:
             size *= to_s64(self.regs[src])
@@ -692,7 +810,7 @@ class Chex86Machine:
         if violation is not None:
             self._flag(violation, pc)
 
-    def _exec_capgen_end(self, uop: Uop, seq: int) -> None:
+    def _exec_capgen_end(self, uop: Uop, pc: int = 0, seq: int = 0) -> None:
         if not self._pending_gens:
             return  # exit reached without a matching entry interception
         pid = self._pending_gens.pop()
@@ -705,7 +823,7 @@ class Chex86Machine:
         self.tracker.set_pid(uop.srcs[0], pid, seq)
         self.capcache.access(pid)  # a fresh allocation is immediately in use
 
-    def _exec_capfree_begin(self, uop: Uop, pc: int) -> None:
+    def _exec_capfree_begin(self, uop: Uop, pc: int, seq: int = 0) -> None:
         ptr_reg = uop.srcs[0]
         pointer = self.regs[ptr_reg]
         self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
@@ -726,7 +844,8 @@ class Chex86Machine:
         if violation is not None:
             self._flag(violation, pc)
 
-    def _exec_capfree_end(self) -> None:
+    def _exec_capfree_end(self, uop: Uop = None, pc: int = 0,
+                          seq: int = 0) -> None:
         if not self._pending_frees:
             return
         pid = self._pending_frees.pop()
@@ -739,7 +858,7 @@ class Chex86Machine:
 
     # -- host escapes -------------------------------------------------------------------------
 
-    def _exec_hostop(self, uop: Uop, seq: int) -> None:
+    def _exec_hostop(self, uop: Uop, pc: int = 0, seq: int = 0) -> None:
         handler = self.host_table.get(uop.host_name)
         if handler is None:
             raise MachineError(f"no host routine named {uop.host_name!r}")
@@ -759,15 +878,9 @@ class Chex86Machine:
             address += self.regs[int(mem.index)] * mem.scale
         return address & MASK64
 
-    def _track(self, uop: Uop, seq: int) -> None:
-        if self.traits.tracks_pointers:
-            self.tracker.apply(uop, seq)
-
     def _check_rule(self, uop: Uop, pc: int) -> None:
         """Checker co-processor hook: validate the tracker's prediction."""
-        if self.checker is None or uop.dst is None:
-            return
-        if not self.traits.tracks_pointers:
+        if self.checker is None or uop.dst is None or not self._tracks:
             return
         predicted = self.tracker.current_pid(uop.dst)
         self.checker.validate(uop, predicted, self.regs[uop.dst], pc)
@@ -790,21 +903,33 @@ def _alu_compute(alu: AluOp, operands: List[int]) -> Tuple[int, bool, bool]:
     """64-bit ALU semantics; returns (result, carry, overflow)."""
     a = operands[0] if operands else 0
     b = operands[1] if len(operands) > 1 else 0
+    return _alu_binary(alu, a, b)
+
+
+def _alu_binary(alu: AluOp, a: int, b: int) -> Tuple[int, bool, bool]:
+    """Two-operand ALU core (the execute loop extracts operands inline).
+
+    Sign tests use the sign bit directly — ``(x >> 63) & 1`` agrees with
+    ``to_s64(x) >= 0`` for every unsigned 64-bit pattern and skips the
+    helper call on the hottest arithmetic path.
+    """
     if alu is AluOp.ADD:
         total = a + b
         result = total & MASK64
         carry = total > MASK64
-        overflow = (to_s64(a) >= 0) == (to_s64(b) >= 0) and \
-                   (to_s64(result) >= 0) != (to_s64(a) >= 0)
+        sign_a = (a >> 63) & 1
+        overflow = sign_a == ((b >> 63) & 1) and \
+            ((result >> 63) & 1) != sign_a
         return result, carry, overflow
-    if alu in (AluOp.SUB, AluOp.CMP):
+    if alu is AluOp.SUB or alu is AluOp.CMP:
         total = a - b
         result = total & MASK64
         carry = a < b
-        overflow = (to_s64(a) >= 0) != (to_s64(b) >= 0) and \
-                   (to_s64(result) >= 0) != (to_s64(a) >= 0)
+        sign_a = (a >> 63) & 1
+        overflow = sign_a != ((b >> 63) & 1) and \
+            ((result >> 63) & 1) != sign_a
         return result, carry, overflow
-    if alu in (AluOp.AND, AluOp.TEST):
+    if alu is AluOp.AND or alu is AluOp.TEST:
         return a & b, False, False
     if alu is AluOp.OR:
         return a | b, False, False
@@ -824,10 +949,13 @@ def _alu_compute(alu: AluOp, operands: List[int]) -> Tuple[int, bool, bool]:
 
 
 def _branch_taken(cond: str, flags: Flag) -> bool:
-    zf = bool(flags & Flag.ZF)
-    sf = bool(flags & Flag.SF)
-    cf = bool(flags & Flag.CF)
-    of = bool(flags & Flag.OF)
+    # Plain-int flag tests: IntFlag's ``&`` operator goes through the
+    # enum machinery, which shows up at one branch resolve per BR uop.
+    bits = int(flags)
+    zf = bool(bits & 1)   # Flag.ZF
+    sf = bool(bits & 2)   # Flag.SF
+    cf = bool(bits & 4)   # Flag.CF
+    of = bool(bits & 8)   # Flag.OF
     if cond == "je":
         return zf
     if cond == "jne":

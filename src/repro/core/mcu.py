@@ -27,6 +27,20 @@ from ..isa.registers import RET_REG
 from ..microop.uops import Uop, UopKind
 from .variants import CheckPolicy, VariantTraits
 
+#: Static check-injection modes, resolved once per (pc, uop) site by
+#: :meth:`MicrocodeCustomizationUnit.static_check_plan` and replayed by the
+#: decoded-block fast path.  The ``*_IF_PID`` modes defer to the live base
+#: PID from the speculative pointer tracker (the prediction-driven policy).
+CHECK_NEVER = 0
+CHECK_INJECT = 1
+CHECK_INJECT_IF_PID = 2
+CHECK_SUPPRESS = 3
+CHECK_SUPPRESS_IF_PID = 4
+
+#: Check policies that never inject (their checks are fused, explicit in
+#: the binary, or absent).
+_NO_INJECT_POLICIES = (CheckPolicy.NONE, CheckPolicy.LSU, CheckPolicy.EXPLICIT)
+
 
 def critical_ranges_for(program, function_labels: Sequence[str]
                         ) -> List[Tuple[int, int]]:
@@ -101,28 +115,57 @@ class MicrocodeCustomizationUnit:
         register).  ``free`` mirrors this with ``capFree``; ``realloc``
         yields both pairs.
         """
+        injected, deltas = self.intercept_plan(address)
+        self.apply_intercept_stats(deltas)
+        return injected
+
+    def intercept_plan(
+        self, address: int,
+    ) -> Tuple[List[Uop], Tuple[int, int, int, int, int]]:
+        """Like :meth:`intercept`, but without touching :attr:`stats`.
+
+        Returns the injected uops together with the stat deltas one dynamic
+        execution of this site incurs, as ``(entry_intercepts,
+        exit_intercepts, capgen_events, capfree_events, injected_uops)``.
+        The decoded-block fast path compiles this once per static site and
+        applies the deltas per replay via :meth:`apply_intercept_stats`.
+        """
         injected: List[Uop] = []
+        entry = exit_ = capgen = capfree = 0
         registration = self._by_entry.get(address)
         if registration is not None:
-            self.stats.entry_intercepts += 1
+            entry = 1
             if registration.kind in (HeapFnKind.FREE, HeapFnKind.REALLOC):
-                injected.append(self._make(
-                    UopKind.CAPFREE_BEGIN, srcs=(int(registration.ptr_reg),)))
-                self.stats.capfree_events += 1
+                injected.append(Uop(
+                    UopKind.CAPFREE_BEGIN, srcs=(int(registration.ptr_reg),),
+                    injected=True))
+                capfree = 1
             if registration.kind in (HeapFnKind.ALLOC, HeapFnKind.REALLOC):
-                injected.append(self._make(
+                injected.append(Uop(
                     UopKind.CAPGEN_BEGIN,
-                    srcs=tuple(int(r) for r in registration.size_regs)))
-                self.stats.capgen_events += 1
+                    srcs=tuple(int(r) for r in registration.size_regs),
+                    injected=True))
+                capgen = 1
         registration = self._by_exit.get(address)
         if registration is not None:
-            self.stats.exit_intercepts += 1
+            exit_ = 1
             if registration.kind in (HeapFnKind.FREE, HeapFnKind.REALLOC):
-                injected.append(self._make(UopKind.CAPFREE_END))
+                injected.append(Uop(UopKind.CAPFREE_END, injected=True))
             if registration.kind in (HeapFnKind.ALLOC, HeapFnKind.REALLOC):
-                injected.append(self._make(
-                    UopKind.CAPGEN_END, srcs=(int(RET_REG),)))
-        return injected
+                injected.append(Uop(
+                    UopKind.CAPGEN_END, srcs=(int(RET_REG),), injected=True))
+        return injected, (entry, exit_, capgen, capfree, len(injected))
+
+    def apply_intercept_stats(
+        self, deltas: Tuple[int, int, int, int, int],
+    ) -> None:
+        """Charge one dynamic execution of an interception site."""
+        stats = self.stats
+        stats.entry_intercepts += deltas[0]
+        stats.exit_intercepts += deltas[1]
+        stats.capgen_events += deltas[2]
+        stats.capfree_events += deltas[3]
+        stats.injected_uops += deltas[4]
 
     # -- dereference instrumentation ----------------------------------------------
 
@@ -154,6 +197,31 @@ class MicrocodeCustomizationUnit:
         check.check_write = uop.kind is UopKind.ST
         self.stats.capchecks += 1
         return check
+
+    def static_check_plan(
+        self, pc: int, uop: Uop,
+    ) -> Tuple[int, Optional[Uop]]:
+        """Resolve the static half of :meth:`check_for` for one site.
+
+        Everything except the base register's PID is a pure function of
+        ``(pc, uop, variant)``: whether the policy instruments at all,
+        whether ``pc`` sits inside a critical range, and the shape of the
+        injected ``capCheck``.  Returns ``(mode, template)`` where ``mode``
+        is one of the ``CHECK_*`` constants and ``template`` is a reusable
+        check uop (``pid`` is stamped per dynamic instance) or None.
+        """
+        policy = self.traits.check_policy
+        if policy in _NO_INJECT_POLICIES:
+            return CHECK_NEVER, None
+        if not uop.is_mem or uop.is_capability:
+            return CHECK_NEVER, None
+        tracked = policy is CheckPolicy.TRACKED
+        if self.critical_ranges is not None and not self._critical(pc):
+            return (CHECK_SUPPRESS_IF_PID if tracked else CHECK_SUPPRESS,
+                    None)
+        template = Uop(UopKind.CAPCHECK, mem=uop.mem, injected=True,
+                       check_write=uop.kind is UopKind.ST)
+        return (CHECK_INJECT_IF_PID if tracked else CHECK_INJECT, template)
 
     def lsu_checks(self) -> bool:
         """Whether the load/store unit performs fused checks (HW-only)."""

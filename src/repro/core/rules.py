@@ -92,6 +92,9 @@ class RuleDatabase:
         self.field_updates: List[str] = []
         # Memoized lookup results per concrete uop shape (hot path).
         self._memo: Dict[Tuple, Optional[Rule]] = {}
+        #: Bumped on every add/remove; stamps the per-uop lookup memo so a
+        #: mid-run rule update (the checker workflow) invalidates it.
+        self.version = 0
 
     # -- construction / configurability -----------------------------------------
 
@@ -121,6 +124,7 @@ class RuleDatabase:
         self._rules.append(rule)
         self._index[rule.key] = rule
         self._memo.clear()
+        self.version += 1
         if field_update:
             self.field_updates.append(rule.name)
 
@@ -131,6 +135,7 @@ class RuleDatabase:
                 del self._rules[i]
                 del self._index[rule.key]
                 self._memo.clear()
+                self.version += 1
                 return
         raise KeyError(name)
 
@@ -143,19 +148,27 @@ class RuleDatabase:
     # -- matching / propagation -----------------------------------------------------
 
     def lookup(self, uop: Uop) -> Optional[Rule]:
-        """The first rule matching ``uop``, or None (default policy)."""
+        """The first rule matching ``uop``, or None (default policy).
+
+        The result is memoized directly on the (static, per-site) uop,
+        stamped with :attr:`version` so learned/dropped rules invalidate
+        it; the shape-keyed ``_memo`` backs uops seen for the first time.
+        """
+        memo = uop._rule
+        if memo is not None and memo[0] is self and memo[1] == self.version:
+            return memo[2]
         key = (uop.kind, uop.alu, uop.addr_mode)
         try:
-            return self._memo[key]
+            found = self._memo[key]
         except KeyError:
-            pass
-        found = self._index.get(key)
-        if found is None:
-            for rule in self._rules:
-                if rule.matches(uop):
-                    found = rule
-                    break
-        self._memo[key] = found
+            found = self._index.get(key)
+            if found is None:
+                for rule in self._rules:
+                    if rule.matches(uop):
+                        found = rule
+                        break
+            self._memo[key] = found
+        uop._rule = (self, self.version, found)
         return found
 
     def propagate(self, uop: Uop, src_pids: Sequence[int], base_pid: int = 0):

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..microop.uops import NUM_UREGS, Uop
 from .capability import WILD_PID
-from .rules import MEMORY_POLICY, RuleDatabase
+from .rules import MEMORY_POLICY, Propagation, RuleDatabase
 
 
 @dataclass
@@ -97,7 +97,7 @@ class SpeculativePointerTracker:
 
     def set_pid(self, reg: int, pid: int, seq: int) -> None:
         """Record a (speculative) capability transfer into ``reg``."""
-        self._tags[reg].write(seq, pid)
+        self._tags[reg].transient.append((seq, pid))
         self._dirty.add(reg)
 
     def base_pid(self, uop: Uop) -> int:
@@ -123,17 +123,41 @@ class SpeculativePointerTracker:
         * :data:`MEMORY_POLICY` — the machine must resolve via the alias
           subsystem (LD destination / ST source);
         * an ``int`` PID — already written to the destination tag.
+
+        The policy dispatch mirrors :meth:`RuleDatabase.propagate` but
+        reads only the operand tags the selected policy actually consumes
+        (this runs once per tracked micro-op — the hot path).
         """
-        src_pids = tuple(self._tags[s].current() for s in uop.srcs)
-        base = 0
-        if uop.mem is not None and uop.mem.base is not None:
-            base = self.current_pid(int(uop.mem.base))
-        result = self.rules.propagate(uop, src_pids, base_pid=base)
-        if result is MEMORY_POLICY:
+        rules = self.rules
+        rule = rules.lookup(uop)
+        policy = rule.propagation if rule else rules.default_propagation
+        if policy is Propagation.ZERO:
+            pid = 0
+        elif policy is Propagation.COPY_SRC or policy is Propagation.FIRST_SRC:
+            srcs = uop.srcs
+            pid = self._tags[srcs[0]].current() if srcs else 0
+        elif policy is Propagation.NONZERO_SRC:
+            tags = self._tags
+            srcs = uop.srcs
+            first = tags[srcs[0]].current() if srcs else 0
+            second = tags[srcs[1]].current() if len(srcs) > 1 else 0
+            if first == 0:
+                pid = second
+            elif second == 0 or first != WILD_PID:
+                pid = first
+            else:
+                pid = second
+        elif policy is Propagation.BASE_REG:
+            mem = uop.mem
+            pid = 0
+            if mem is not None and mem.base is not None:
+                pid = self._tags[int(mem.base)].current()
+        elif policy is Propagation.WILD:
+            pid = WILD_PID
+        else:  # FROM_MEMORY / TO_MEMORY
             return MEMORY_POLICY
         if uop.dst is None:
             return None
-        pid = int(result)
         self.set_pid(uop.dst, pid, seq)
         if pid == WILD_PID:
             self.stats.wild_assignments += 1
@@ -148,15 +172,26 @@ class SpeculativePointerTracker:
     def commit(self, seq: int) -> None:
         """All instructions with sequence number <= ``seq`` have committed."""
         self.stats.commits += 1
-        if not self._dirty:
+        dirty = self._dirty
+        if not dirty:
             return
+        tags = self._tags
         clean = []
-        for reg in self._dirty:
-            tag = self._tags[reg]
-            tag.commit_upto(seq)
-            if not tag.transient:
+        for reg in dirty:
+            tag = tags[reg]
+            transient = tag.transient
+            if transient[-1][0] <= seq:
+                # Common case at end-of-instruction commit: every transient
+                # is old enough, so the youngest graduates and the vector
+                # drains wholesale.
+                tag.committed = transient[-1][1]
+                transient.clear()
                 clean.append(reg)
-        self._dirty.difference_update(clean)
+            else:
+                tag.commit_upto(seq)
+                if not transient:
+                    clean.append(reg)
+        dirty.difference_update(clean)
 
     def squash(self, seq: int) -> None:
         """Misprediction recovery: discard transient state younger than

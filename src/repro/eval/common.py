@@ -67,6 +67,9 @@ class BenchmarkRun:
     rss_bytes: int
     shadow_rss_bytes: int
     frequency_ghz: float
+    #: Flat per-phase cycle/uop counters summed over cores (the
+    #: ``--profile`` surface; see ``Chex86Machine.phase_counters``).
+    phase_counters: Dict[str, int] = field(default_factory=dict)
 
     # -- derived metrics ----------------------------------------------------
 
@@ -201,6 +204,10 @@ def _collect(workload: Workload, label: str, cores: List[Chex86Machine],
     for core in cores:
         core.timing.finish()
     timing = [core.timing.stats for core in cores]
+    phase: Dict[str, int] = {}
+    for core in cores:
+        for counter, value in core.phase_counters().items():
+            phase[counter] = phase.get(counter, 0) + value
     return BenchmarkRun(
         benchmark=workload.name,
         suite=workload.suite,
@@ -229,4 +236,5 @@ def _collect(workload: Workload, label: str, cores: List[Chex86Machine],
         rss_bytes=system.memory.resident_bytes,
         shadow_rss_bytes=system.shadow_bytes,
         frequency_ghz=config.frequency_ghz,
+        phase_counters=phase,
     )

@@ -45,7 +45,7 @@ from .common import BenchmarkRun, run_benchmark
 
 #: Bumped whenever the cache record layout (not the simulated behaviour)
 #: changes; old records are silently recomputed.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 #: Default location of the on-disk cell cache.
 DEFAULT_CACHE_DIR = "results/.cellcache"
@@ -205,6 +205,12 @@ class EngineStats:
             return 0.0
         return self.simulated_instructions / self.wall_seconds
 
+    @property
+    def simulated_mips(self) -> float:
+        """Simulated instructions per wall-clock second, in millions —
+        the hot-loop throughput figure ``bench_hotloop.py`` tracks."""
+        return self.instructions_per_second / 1e6
+
     def summary(self) -> str:
         rate = self.instructions_per_second
         return (f"engine: {self.computed} cell(s) simulated, "
@@ -241,6 +247,11 @@ class EvalEngine:
 
     def get(self, spec: CellSpec):
         return self.run_cells([spec])[spec]
+
+    def memoized(self) -> Dict[CellSpec, object]:
+        """Snapshot of every (spec, result) resolved so far — the
+        ``--profile`` report aggregates phase counters from this."""
+        return dict(self._memo)
 
     def run_cells(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, object]:
         """Resolve every spec, computing each unique cell at most once.

@@ -125,17 +125,27 @@ def reproduce(out_dir: str = "results", scale: int = 1,
               jobs: Optional[int] = None,
               use_cache: bool = True,
               cache_dir: str = DEFAULT_CACHE_DIR,
-              engine: Optional[EvalEngine] = None) -> List[ArtifactRecord]:
+              engine: Optional[EvalEngine] = None,
+              profile: bool = False) -> List[ArtifactRecord]:
     """Run everything; returns per-artifact records (also saved to disk).
 
     ``jobs``/``use_cache``/``cache_dir`` configure the shared evaluation
     engine (pass a pre-built ``engine`` to override it entirely).
+    ``profile`` additionally writes a cProfile dump (``profile.prof``)
+    and a ``"profile"`` section in ``summary.json`` with the aggregated
+    per-phase counters of every simulated cell.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     if engine is None:
         engine = EvalEngine(jobs=jobs, cache_dir=cache_dir,
                             use_cache=use_cache, echo=echo)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     specs = shared_cell_specs(scale)
     unique = len(set(specs))
     echo(f"prewarming {unique} unique simulation cells "
@@ -162,9 +172,49 @@ def reproduce(out_dir: str = "results", scale: int = 1,
             "cells_cached": engine.stats.cached,
             "wall_seconds": round(engine.stats.wall_seconds, 1),
             "simulated_instructions": engine.stats.simulated_instructions,
+            "simulated_mips": round(engine.stats.simulated_mips, 4),
         },
     }
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(str(out / "profile.prof"))
+        summary["profile"] = {
+            "cprofile": "profile.prof",
+            "phase_counters": aggregate_phase_counters(engine),
+            "top_functions": _top_functions(profiler),
+        }
+        echo(f"profile: wrote {out / 'profile.prof'}")
     (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
     echo(engine.stats.summary())
     echo(f"wrote {len(records)} artifacts + summary.json to {out}/")
     return records
+
+
+def aggregate_phase_counters(engine: EvalEngine) -> Dict[str, int]:
+    """Sum the per-phase counters over every benchmark cell the engine
+    resolved (cached cells carry their counters in the record)."""
+    totals: Dict[str, int] = {}
+    for result in engine.memoized().values():
+        counters = getattr(result, "phase_counters", None)
+        if not counters:
+            continue
+        for counter, value in counters.items():
+            totals[counter] = totals.get(counter, 0) + value
+    return totals
+
+
+def _top_functions(profiler, limit: int = 10) -> List[Dict[str, object]]:
+    """The heaviest functions by cumulative time, JSON-shaped."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, lineno, name), (_cc, ncalls, _tt, cumulative, _callers) \
+            in stats.stats.items():
+        entries.append({
+            "function": f"{Path(filename).name}:{lineno}({name})",
+            "calls": ncalls,
+            "cumulative_seconds": round(cumulative, 3),
+        })
+    entries.sort(key=lambda e: e["cumulative_seconds"], reverse=True)
+    return entries[:limit]

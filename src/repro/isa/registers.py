@@ -92,15 +92,22 @@ def to_s64(value: int) -> int:
     return value
 
 
+# All 16 flag combinations, precomputed: the enum |/& operators run
+# through ``EnumMeta.__call__`` on every use, which is measurable when
+# flags are derived once per ALU micro-op.
+_FLAG_VALUES = tuple(Flag(bits) for bits in range(16))
+
+
 def compute_flags(result: int, carry: bool = False, overflow: bool = False) -> Flag:
     """Derive the flag set for a 64-bit ``result`` of an ALU operation."""
-    flags = Flag(0)
-    if to_u64(result) == 0:
-        flags |= Flag.ZF
-    if to_u64(result) >> 63:
-        flags |= Flag.SF
+    result &= MASK64
+    bits = 0
+    if result == 0:
+        bits = 1  # Flag.ZF
+    elif result >> 63:
+        bits = 2  # Flag.SF
     if carry:
-        flags |= Flag.CF
+        bits |= 4  # Flag.CF
     if overflow:
-        flags |= Flag.OF
-    return flags
+        bits |= 8  # Flag.OF
+    return _FLAG_VALUES[bits]

@@ -105,6 +105,19 @@ class Decoder:
         come from here, carry per-instance state like PIDs or zero-idiom
         demotion).  Use :func:`copy_uops` when a caller needs to mutate.
         """
+        template, path = self.translation(instr, address, macro_index,
+                                          program_key)
+        self.stats.record(path, len(template))
+        return template, path
+
+    def translation(self, instr: Instr, address: int, macro_index: int,
+                    program_key: int = 0) -> Tuple[List[Uop], DecodePath]:
+        """The cached translation for one site, without recording stats.
+
+        The decoded-block fast path compiles plans through this entry point
+        and charges :attr:`stats` itself, once per dynamic replay, so the
+        decode counters still reflect dynamic front-end work.
+        """
         key = (program_key, macro_index)
         cached = self._cache.get(key)
         if cached is None:
@@ -114,9 +127,7 @@ class Decoder:
             path = _path_for(len(uops))
             cached = (uops, path)
             self._cache[key] = cached
-        template, path = cached
-        self.stats.record(path, len(template))
-        return template, path
+        return cached
 
 
 def copy_uops(uops: List[Uop]) -> List[Uop]:

@@ -14,7 +14,7 @@ load-op-store expansions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..isa.operands import Mem
@@ -129,16 +129,31 @@ class Uop:
     check_write: bool = False
     #: Index of the parent macro instruction in its program.
     macro_index: int = -1
+    #: Memoized :meth:`reg_reads` result.  Operand fields are immutable
+    #: once decoded (only ``kind``/``pid`` are rewritten in place), so the
+    #: read set of a static uop never changes.
+    _reads: Optional[Tuple[int, ...]] = field(
+        default=None, repr=False, compare=False)
+    #: Per-uop rule-lookup memo used by ``repro.core.rules``: a
+    #: ``(database, version, rule)`` triple, invalidated when the database
+    #: learns or drops a rule (or the uop meets a different database).
+    _rule: Optional[Tuple[object, int, object]] = field(
+        default=None, repr=False, compare=False)
 
     def reg_reads(self) -> Tuple[int, ...]:
         """All extended registers this uop reads (incl. address registers)."""
-        reads = list(self.srcs)
-        if self.mem is not None:
-            if self.mem.base is not None:
-                reads.append(int(self.mem.base))
-            if self.mem.index is not None:
-                reads.append(int(self.mem.index))
-        return tuple(reads)
+        reads = self._reads
+        if reads is None:
+            regs = list(self.srcs)
+            mem = self.mem
+            if mem is not None:
+                if mem.base is not None:
+                    regs.append(int(mem.base))
+                if mem.index is not None:
+                    regs.append(int(mem.index))
+            reads = tuple(regs)
+            self._reads = reads
+        return reads
 
     @property
     def is_mem(self) -> bool:

@@ -19,6 +19,10 @@ from ..memory.cache import SetAssocCache
 _HISTORIES = (4, 8, 16, 32)
 _TAG_BITS = 9
 _TABLE_BITS = 10  # 1024 entries per tagged component
+# Hoisted masks: ``_index_tag`` runs several times per resolved branch.
+_HISTORY_MASKS = tuple((1 << h) - 1 for h in _HISTORIES)
+_TABLE_MASK = (1 << _TABLE_BITS) - 1
+_TAG_MASK = (1 << _TAG_BITS) - 1
 
 
 @dataclass
@@ -68,12 +72,17 @@ class LTagePredictor:
 
     def update(self, pc: int, taken: bool) -> bool:
         """Train on the outcome; returns whether the prediction was correct."""
-        prediction = self.predict(pc)
+        # One provider search serves both the prediction and the training
+        # (``predict`` is read-only, so searching twice is pure overhead).
+        provider, provider_level = self._find_provider(pc)
+        if provider is not None:
+            prediction = provider[1].ctr >= 0
+        else:
+            prediction = self._bimodal[self._bimodal_index(pc)] >= 0
         correct = prediction == taken
         self.stats.cond_predictions += 1
         if not correct:
             self.stats.cond_mispredictions += 1
-        provider, provider_level = self._find_provider(pc)
         if provider is not None:
             _, entry = provider
             entry.ctr = _nudge(entry.ctr, taken, limit=3)
@@ -111,10 +120,10 @@ class LTagePredictor:
             entry.useful -= 1
 
     def _index_tag(self, pc: int, level: int) -> Tuple[int, int]:
-        history = self._history & ((1 << _HISTORIES[level]) - 1)
+        history = self._history & _HISTORY_MASKS[level]
         folded = _fold(history, _TABLE_BITS)
-        index = ((pc >> 2) ^ folded) & ((1 << _TABLE_BITS) - 1)
-        tag = ((pc >> 2) ^ _fold(history, _TAG_BITS) ^ (pc >> 12)) & ((1 << _TAG_BITS) - 1)
+        index = ((pc >> 2) ^ folded) & _TABLE_MASK
+        tag = ((pc >> 2) ^ _fold(history, _TAG_BITS) ^ (pc >> 12)) & _TAG_MASK
         return index, tag
 
     @staticmethod

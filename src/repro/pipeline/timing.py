@@ -1,4 +1,4 @@
-"""Out-of-order timing model (scoreboard style).
+"""Out-of-order timing model (flat scoreboard style).
 
 This is the substitute for the paper's gem5 Skylake model: a
 dependency-driven scheduling model that charges every micro-op its fetch
@@ -10,13 +10,32 @@ traffic, squash time — which is what Figures 6-9 compare.
 
 The model is driven by the machine in program order; wrong-path work is
 accounted as squash penalty cycles rather than simulated.
+
+Because ``schedule()`` runs once per simulated micro-op it is the single
+hottest function in the repository, and its data structures are flat:
+
+* issue- and commit-width accounting uses fixed-size *ring buffers*
+  indexed by ``cycle & mask`` with a cycle tag per slot (a stale tag reads
+  as an empty slot), instead of an ever-growing dict that needed periodic
+  200k-entry rebuilds;
+* functional-unit pools keep their per-unit free times in a binary heap,
+  so reserving the earliest-free unit is O(log units) instead of an
+  O(units) min-scan (single-unit pools degenerate to one integer).
+
+Both structures reproduce the dict/min-scan schedules cycle-for-cycle:
+the ring is exact as long as no two in-flight cycles collide modulo the
+ring size (the live scheduling window is bounded by the ROB depth times
+the worst per-uop latency — a few tens of thousands of cycles — far
+below the 2^16 ring), and a heap pop returns the same minimum free time
+the scan found.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from heapq import heapify, heapreplace
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..memory.cache import SetAssocCache
 from ..microop.uops import NUM_UREGS
@@ -25,16 +44,23 @@ from .config import CoreConfig
 #: Pseudo-register index used for the flags dependency.
 _FLAGS = NUM_UREGS
 
+#: Ring-buffer size for the per-cycle issue/commit slot counters.  Must be
+#: a power of two and comfortably larger than the live scheduling window.
+_RING_SIZE = 1 << 16
+_RING_MASK = _RING_SIZE - 1
+
 
 class FuType:
-    """Functional unit classes (Table III)."""
+    """Functional unit classes (Table III), as dense pool indices."""
 
-    ALU = "alu"
-    MULT = "mult"
-    LOAD = "load"
-    STORE = "store"
-    CMU = "cmu"  # capability management units (Figure 2)
-    WALKER = "walker"  # alias-table hardware walker (Section V-C)
+    ALU = 0
+    MULT = 1
+    LOAD = 2
+    STORE = 3
+    CMU = 4  # capability management units (Figure 2)
+    WALKER = 5  # alias-table hardware walker (Section V-C)
+
+    NAMES = ("alu", "mult", "load", "store", "cmu", "walker")
 
 
 @dataclass
@@ -57,6 +83,8 @@ class TimingStats:
     dram_bytes: int = 0
     shadow_dram_bytes: int = 0
     rob_stall_events: int = 0
+    #: Issued uops per functional-unit class, indexed like ``FuType``.
+    fu_uops: List[int] = field(default_factory=lambda: [0] * 6)
 
     @property
     def total_dram_bytes(self) -> int:
@@ -77,19 +105,39 @@ class TimingStats:
         seconds = self.cycles / (frequency_ghz * 1e9)
         return self.total_dram_bytes / seconds / 1e6
 
+    def fu_uops_by_name(self) -> Dict[str, int]:
+        """Per-functional-unit issue counts keyed by unit name."""
+        return dict(zip(FuType.NAMES, self.fu_uops))
+
 
 class _FuPool:
-    """A pool of (pipelined) functional units."""
+    """A pool of (pipelined) functional units.
 
-    __slots__ = ("_free",)
+    Free times live in a min-heap: ``reserve`` starts the request at the
+    earliest-free unit, exactly like an argmin scan over the units, but in
+    O(log n).  A one-unit pool is just a single integer.
+    """
+
+    __slots__ = ("_free", "_single")
 
     def __init__(self, units: int) -> None:
-        self._free = [0] * units
+        self._single = units == 1
+        if self._single:
+            self._free = 0
+        else:
+            free = [0] * units
+            heapify(free)
+            self._free = free
 
     def reserve(self, ready: int, occupancy: int = 1) -> int:
-        slot = min(range(len(self._free)), key=self._free.__getitem__)
-        start = max(ready, self._free[slot])
-        self._free[slot] = start + occupancy
+        if self._single:
+            start = ready if ready > self._free else self._free
+            self._free = start + occupancy
+            return start
+        free = self._free
+        earliest = free[0]
+        start = ready if ready > earliest else earliest
+        heapreplace(free, start + occupancy)
         return start
 
 
@@ -101,31 +149,49 @@ class TimingModel:
         self.config = config
         self.name = name
         line_shift = config.line_bytes.bit_length() - 1
+        #: Cache line shift, hoisted once — ``begin_macro``/``mem_access``
+        #: run per macro-op/access and must not recompute it.
+        self._line_shift = line_shift
         self.l1i = SetAssocCache(config.l1i_bytes // config.line_bytes,
                                  config.l1i_ways, line_shift, name=f"{name}.l1i")
         self.l1d = SetAssocCache(config.l1d_bytes // config.line_bytes,
                                  config.l1d_ways, line_shift, name=f"{name}.l1d")
         self.l2 = l2
         self.stats = TimingStats()
-        self._pools = {
-            FuType.ALU: _FuPool(config.int_alu_units),
-            FuType.MULT: _FuPool(config.int_mult_units),
-            FuType.LOAD: _FuPool(2),
-            FuType.STORE: _FuPool(1),
-            FuType.CMU: _FuPool(config.cmu_units),
-            FuType.WALKER: _FuPool(config.alias_walkers),
-        }
+        self._pools = [
+            _FuPool(config.int_alu_units),   # FuType.ALU
+            _FuPool(config.int_mult_units),  # FuType.MULT
+            _FuPool(2),                      # FuType.LOAD
+            _FuPool(1),                      # FuType.STORE
+            _FuPool(config.cmu_units),       # FuType.CMU
+            _FuPool(config.alias_walkers),   # FuType.WALKER
+        ]
         self._reg_ready = [0] * (NUM_UREGS + 1)
         self._rob: Deque[int] = deque()
         self._lq: Deque[int] = deque()
         self._sq: Deque[int] = deque()
-        self._issue_used: Dict[int, int] = {}
-        self._commit_used: Dict[int, int] = {}
+        # Flat per-cycle slot scoreboard: counts[cycle & mask] is valid
+        # only while tags[cycle & mask] == cycle; stale slots read as 0.
+        self._issue_tags = [-1] * _RING_SIZE
+        self._issue_counts = [0] * _RING_SIZE
+        self._commit_tags = [-1] * _RING_SIZE
+        self._commit_counts = [0] * _RING_SIZE
         self._fetch_cycle = 0
         self._group_used = config.fetch_width  # force a fresh group first
         self._last_iline = -1
         self._last_commit = 0
-        self._prune_mark = 0
+        # Hot-loop config hoists (attribute loads per scheduled uop add up).
+        self._fetch_width = config.fetch_width
+        self._issue_width = config.issue_width
+        self._commit_width = config.commit_width
+        self._decode_depth = config.decode_depth
+        self._rob_entries = config.rob_entries
+        self._lq_entries = config.lq_entries
+        self._sq_entries = config.sq_entries
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
+        self._mem_latency = config.mem_latency
+        self._line_bytes = config.line_bytes
 
     # -- front end --------------------------------------------------------------
 
@@ -137,43 +203,47 @@ class TimingModel:
         rides in the macro stream; an MSROM translation consumes the whole
         fetch group (the MSROM serializes legacy decoders).
         """
-        self.stats.macro_ops += 1
-        slots = self.config.fetch_width if msrom else fetch_slots
-        if self._group_used + slots > self.config.fetch_width:
+        stats = self.stats
+        stats.macro_ops += 1
+        slots = self._fetch_width if msrom else fetch_slots
+        if self._group_used + slots > self._fetch_width:
             self._fetch_cycle += 1
-            self._group_used = 0
-            self.stats.fetch_groups += 1
-        self._group_used += slots
-        line = pc >> (self.config.line_bytes.bit_length() - 1)
+            self._group_used = slots
+            stats.fetch_groups += 1
+        else:
+            self._group_used += slots
+        line = pc >> self._line_shift
         if line != self._last_iline:
             self._last_iline = line
             if not self.l1i.access(line):
-                self.stats.icache_misses += 1
+                stats.icache_misses += 1
                 if self.l2.access(line):
-                    self._fetch_cycle += self.config.l2_latency
+                    self._fetch_cycle += self._l2_latency
                 else:
-                    self._fetch_cycle += self.config.mem_latency
-                    self.stats.dram_bytes += self.config.line_bytes
+                    self._fetch_cycle += self._mem_latency
+                    stats.dram_bytes += self._line_bytes
 
     # -- memory hierarchy ----------------------------------------------------------
 
     def mem_access(self, address: int, is_store: bool) -> int:
-        """Data-cache access; returns the load-to-use latency in cycles."""
+        """Data-cache access; returns the load-to-use latency in cycles.
+
+        Both stores and loads allocate the line on a miss (write-allocate),
+        so the DRAM traffic accounting below is identical for either.
+        """
+        stats = self.stats
         if is_store:
-            self.stats.stores += 1
+            stats.stores += 1
         else:
-            self.stats.loads += 1
+            stats.loads += 1
         if self.l1d.access(address):
-            return self.config.l1_latency
-        self.stats.l1d_misses += 1
+            return self._l1_latency
+        stats.l1d_misses += 1
         if self.l2.access(address):
-            return self.config.l1_latency + self.config.l2_latency
-        self.stats.l2_misses += 1
-        self.stats.dram_bytes += self.config.line_bytes
-        if is_store:  # write-allocate: the line is fetched either way
-            pass
-        return (self.config.l1_latency + self.config.l2_latency
-                + self.config.mem_latency)
+            return self._l1_latency + self._l2_latency
+        stats.l2_misses += 1
+        stats.dram_bytes += self._line_bytes
+        return self._l1_latency + self._l2_latency + self._mem_latency
 
     def shadow_access(self, latency_levels: int, bytes_moved: int) -> int:
         """A shadow-structure access (capability table / alias walk).
@@ -190,56 +260,78 @@ class TimingModel:
         srcs: Tuple[int, ...],
         dst: Optional[int],
         latency: int,
-        fu: str = FuType.ALU,
+        fu: int = FuType.ALU,
         reads_flags: bool = False,
         writes_flags: bool = False,
         occupancy: int = 1,
     ) -> int:
         """Schedule one micro-op; returns its completion cycle."""
-        self.stats.uops += 1
-        dispatch = self._fetch_cycle + self.config.decode_depth
-        if len(self._rob) >= self.config.rob_entries:
-            oldest = self._rob.popleft()
+        stats = self.stats
+        stats.uops += 1
+        stats.fu_uops[fu] += 1
+        rob = self._rob
+        dispatch = self._fetch_cycle + self._decode_depth
+        if len(rob) >= self._rob_entries:
+            oldest = rob.popleft()
             if oldest > dispatch:
                 dispatch = oldest
-                self.stats.rob_stall_events += 1
+                stats.rob_stall_events += 1
                 # Dispatch backpressure stalls fetch too: the front end can
                 # only run one ROB's worth of work ahead of commit, which
                 # bounds the wrong-path window a squash can waste.
-                stalled_fetch = dispatch - self.config.decode_depth
+                stalled_fetch = dispatch - self._decode_depth
                 if stalled_fetch > self._fetch_cycle:
                     self._fetch_cycle = stalled_fetch
-        queue = self._lq if fu == FuType.LOAD else (
-            self._sq if fu == FuType.STORE else None)
+        if fu == FuType.LOAD:
+            queue, limit = self._lq, self._lq_entries
+        elif fu == FuType.STORE:
+            queue, limit = self._sq, self._sq_entries
+        else:
+            queue = None
         if queue is not None:
-            limit = (self.config.lq_entries if fu == FuType.LOAD
-                     else self.config.sq_entries)
             while queue and queue[0] <= dispatch:
                 queue.popleft()
             if len(queue) >= limit:
-                dispatch = max(dispatch, queue.popleft())
+                head = queue.popleft()
+                if head > dispatch:
+                    dispatch = head
         ready = dispatch
+        reg_ready = self._reg_ready
         for src in srcs:
-            if self._reg_ready[src] > ready:
-                ready = self._reg_ready[src]
-        if reads_flags and self._reg_ready[_FLAGS] > ready:
-            ready = self._reg_ready[_FLAGS]
-        issue = self._issue_slot(ready, fu, occupancy)
-        done = issue + latency
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        if reads_flags and reg_ready[_FLAGS] > ready:
+            ready = reg_ready[_FLAGS]
+        # Issue: reserve a functional unit, then find a cycle with a free
+        # issue slot, walking the ring forward from the unit's start cycle.
+        cycle = self._pools[fu].reserve(ready, occupancy)
+        tags, counts = self._issue_tags, self._issue_counts
+        width = self._issue_width
+        while True:
+            slot = cycle & _RING_MASK
+            if tags[slot] != cycle:
+                tags[slot] = cycle
+                counts[slot] = 1
+                break
+            if counts[slot] < width:
+                counts[slot] += 1
+                break
+            cycle += 1
+        done = cycle + latency
         if dst is not None:
-            self._reg_ready[dst] = done
+            reg_ready[dst] = done
         if writes_flags:
-            self._reg_ready[_FLAGS] = done
+            reg_ready[_FLAGS] = done
         commit = self._commit_slot(done)
-        self._rob.append(commit)
+        rob.append(commit)
         if queue is not None:
             queue.append(commit)
         if commit > self._last_commit:
             self._last_commit = commit
-        self._maybe_prune()
         return done
 
-    def occupy(self, fu: str, ready: int, duration: int) -> int:
+    def occupy(self, fu: int, ready: int, duration: int) -> int:
         """Reserve a functional unit without issuing a uop (hardware
         walkers, background engines).  Returns the start cycle."""
         return self._pools[fu].reserve(ready, duration)
@@ -257,9 +349,9 @@ class TimingModel:
         """
         self.stats.uops += 1
         entry_fetch = self._fetch_cycle
-        self._fetch_cycle += max(1, cost_uops // self.config.fetch_width)
-        self._group_used = self.config.fetch_width
-        ready = entry_fetch + self.config.decode_depth
+        self._fetch_cycle += max(1, cost_uops // self._fetch_width)
+        self._group_used = self._fetch_width
+        ready = entry_fetch + self._decode_depth
         for src in srcs:
             if self._reg_ready[src] > ready:
                 ready = self._reg_ready[src]
@@ -290,11 +382,11 @@ class TimingModel:
             else:
                 self.stats.branch_squash_cycles += wasted
             self._fetch_cycle = new_fetch
-        self._group_used = self.config.fetch_width
+        self._group_used = self._fetch_width
 
     def taken_branch(self) -> None:
         """A correctly predicted taken branch still ends the fetch group."""
-        self._group_used = self.config.fetch_width
+        self._group_used = self._fetch_width
 
     # -- end of run ------------------------------------------------------------------------------
 
@@ -309,26 +401,19 @@ class TimingModel:
 
     # -- internals -------------------------------------------------------------------------------
 
-    def _issue_slot(self, ready: int, fu: str, occupancy: int) -> int:
-        width = self.config.issue_width
-        cycle = self._pools[fu].reserve(ready, occupancy)
-        while self._issue_used.get(cycle, 0) >= width:
-            cycle += 1
-        self._issue_used[cycle] = self._issue_used.get(cycle, 0) + 1
-        return cycle
-
     def _commit_slot(self, done: int) -> int:
-        cycle = max(done, self._last_commit)
-        while self._commit_used.get(cycle, 0) >= self.config.commit_width:
+        cycle = self._last_commit
+        if done > cycle:
+            cycle = done
+        tags, counts = self._commit_tags, self._commit_counts
+        width = self._commit_width
+        while True:
+            slot = cycle & _RING_MASK
+            if tags[slot] != cycle:
+                tags[slot] = cycle
+                counts[slot] = 1
+                return cycle
+            if counts[slot] < width:
+                counts[slot] += 1
+                return cycle
             cycle += 1
-        self._commit_used[cycle] = self._commit_used.get(cycle, 0) + 1
-        return cycle
-
-    def _maybe_prune(self) -> None:
-        if len(self._issue_used) + len(self._commit_used) < 200_000:
-            return
-        horizon = self._last_commit - 1_000
-        self._issue_used = {c: n for c, n in self._issue_used.items()
-                            if c >= horizon}
-        self._commit_used = {c: n for c, n in self._commit_used.items()
-                             if c >= horizon}
