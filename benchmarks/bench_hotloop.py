@@ -32,6 +32,7 @@ from repro import __version__  # noqa: E402
 from repro.core.machine import Chex86Machine  # noqa: E402
 from repro.core.variants import Variant  # noqa: E402
 from repro.isa.assembler import assemble  # noqa: E402
+from repro.telemetry import EventTracer, write_snapshot  # noqa: E402
 from repro.workloads import build  # noqa: E402
 
 #: The three representative workloads (SPEC pointer-heavy, SPEC branchy,
@@ -39,11 +40,18 @@ from repro.workloads import build  # noqa: E402
 WORKLOADS = ("mcf", "deepsjeng", "blackscholes")
 
 DEFAULT_OUT = "BENCH_hotloop.json"
+DEFAULT_METRICS_OUT = "BENCH_hotloop_metrics.json"
 DEFAULT_BASELINE = "benchmarks/bench_hotloop_baseline.json"
 
 
-def measure(name: str, scale: int, budget: int, repeats: int) -> dict:
-    """Best-of-``repeats`` stepping throughput for one workload."""
+def measure(name: str, scale: int, budget: int, repeats: int,
+            telemetry: bool = False, metrics_out: str = None) -> dict:
+    """Best-of-``repeats`` stepping throughput for one workload.
+
+    ``telemetry=True`` attaches the event tracer and per-quantum
+    snapshotting — the *enabled*-path overhead measurement; the
+    regression gate only ever reads the default (disabled) runs.
+    """
     workload = build(name, scale)
     program = assemble(workload.source, name=workload.name)
     best_mips = 0.0
@@ -51,6 +59,9 @@ def measure(name: str, scale: int, budget: int, repeats: int) -> dict:
     for _ in range(repeats):
         machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
                                 halt_on_violation=False)
+        if telemetry:
+            machine.attach_tracer(EventTracer())
+            machine.enable_quantum_metrics()
         started = time.perf_counter()
         machine.run_quantum(budget)
         seconds = time.perf_counter() - started
@@ -59,6 +70,10 @@ def measure(name: str, scale: int, budget: int, repeats: int) -> dict:
         mips = instructions / seconds / 1e6 if seconds > 0 else 0.0
         if mips > best_mips:
             best_mips = mips
+    if metrics_out:
+        write_snapshot(metrics_out, machine.metrics_snapshot(),
+                       meta={"benchmark": "hotloop", "workload": name,
+                             "scale": scale, "budget": budget})
     return {
         "workload": name,
         "instructions": instructions,
@@ -93,6 +108,11 @@ def main(argv=None) -> int:
                         help="timed repetitions per workload (best is kept)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--metrics-out", default=DEFAULT_METRICS_OUT,
+                        help="telemetry snapshot of the last instrumented "
+                             f"run (default {DEFAULT_METRICS_OUT})")
+    parser.add_argument("--no-telemetry-bench", action="store_true",
+                        help="skip the telemetry-enabled overhead pass")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compare against "
                              f"(e.g. {DEFAULT_BASELINE})")
@@ -118,6 +138,29 @@ def main(argv=None) -> int:
         "workloads": results,
         "aggregate_simulated_mips": aggregate,
     }
+
+    if not args.no_telemetry_bench:
+        # Telemetry-*enabled* overhead trajectory (tracer attached +
+        # per-quantum snapshots).  Informational only: the regression
+        # gate below compares the default disabled-path aggregate.
+        enabled = []
+        for name in WORKLOADS:
+            record = measure(name, args.scale, args.budget, args.repeats,
+                             telemetry=True,
+                             metrics_out=args.metrics_out)
+            enabled.append(record)
+            print(f"{name:14s} {record['simulated_mips']:.4f} "
+                  f"simulated-MIPS with telemetry enabled")
+        enabled_aggregate = round(aggregate_mips(enabled), 4)
+        overhead = (1.0 - enabled_aggregate / aggregate) if aggregate else 0.0
+        report["telemetry"] = {
+            "workloads": enabled,
+            "aggregate_simulated_mips": enabled_aggregate,
+            "overhead_fraction": round(overhead, 4),
+        }
+        print(f"telemetry: {enabled_aggregate:.4f} simulated-MIPS enabled "
+              f"({overhead:.1%} overhead) -> {args.metrics_out}")
+
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"aggregate: {aggregate:.4f} simulated-MIPS -> {args.out}")
 

@@ -20,6 +20,14 @@ Commands
 ``security``
     Run the three exploit suites (RIPE / ASan suite / How2Heap).
 
+``trace FILE``
+    Run a program with the event tracer attached and print/export the
+    capability events (uop injections, capchecks, predictor outcomes,
+    squashes, violations)::
+
+        python -m repro trace prog.s --kind capcheck --pc 0x400010
+
+
 ``list``
     List benchmarks, variants, and exploit suites.
 """
@@ -35,6 +43,7 @@ from .eval import table1, table2, table3, table4
 from .eval.engine import DEFAULT_CACHE_DIR, EvalEngine
 from .heap import heap_library_asm
 from .isa import assemble
+from .telemetry import EVENT_KINDS, EventTracer, write_snapshot
 from .workloads import BENCHMARK_ORDER, build
 
 _VARIANTS = {v.value: v for v in Variant}
@@ -69,13 +78,22 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
 
 
-def _add_profile_args(parser: argparse.ArgumentParser,
-                      default_out: str = "profile.prof") -> None:
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="profile the simulation: write a cProfile "
                              "dump and print per-phase counters")
-    parser.add_argument("--profile-out", default=default_out, metavar="FILE",
-                        help=f"cProfile dump path (default: {default_out})")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="cProfile dump path (default: derived from "
+                             "the program/workload name, e.g. mcf.prof)")
+
+
+def _profile_out(args, stem: str) -> str:
+    """Resolve ``--profile-out``: an explicit path wins; otherwise the
+    dump is named after what was profiled, so back-to-back profiling
+    runs of different programs do not clobber one file."""
+    if args.profile_out:
+        return args.profile_out
+    return f"{stem}.prof"
 
 
 def _start_profiler(enabled: bool):
@@ -96,9 +114,12 @@ def _finish_profiler(profiler, path: str) -> None:
 
 
 def _print_phase_counters(counters) -> None:
+    # Sorted so the report is deterministic regardless of dict insertion
+    # order (multicore runs merge per-core dicts in core order).
     print("phase counters:")
-    for counter, value in counters.items():
-        print(f"  {counter:32s} {value:>14,}")
+    for counter in sorted(counters):
+        print(f"  {counter:32s} {counters[counter]:>14,}")
+    print(f"  {'total':32s} {sum(counters.values()):>14,}")
 
 
 def _engine_from(args, echo) -> EvalEngine:
@@ -136,22 +157,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="statically instrument with capchk instructions "
                             "and run under the bt-isa-extension variant")
     _add_profile_args(run_p)
+    run_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the full telemetry-registry snapshot "
+                            "as JSON")
+    run_p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="attach the event tracer and write the "
+                            "retained events")
+    run_p.add_argument("--trace-format", default="jsonl",
+                       choices=("jsonl", "chrome"),
+                       help="trace export format: JSON lines or Chrome "
+                            "trace_event (Perfetto / chrome://tracing)")
+    run_p.add_argument("--trace-capacity", type=int, default=65536,
+                       metavar="N",
+                       help="event ring-buffer size; oldest events are "
+                            "dropped past this (default: 65536)")
 
     wl_p = sub.add_parser("workload", help="run a built-in benchmark")
     wl_p.add_argument("name", choices=BENCHMARK_ORDER)
     _add_variant_arg(wl_p)
     wl_p.add_argument("--scale", type=int, default=1)
     _add_profile_args(wl_p)
+    wl_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write the merged per-core telemetry snapshot "
+                           "as JSON")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", choices=sorted(_FIGURES))
     fig_p.add_argument("--scale", type=int, default=1)
     _add_engine_args(fig_p)
+    fig_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the per-cell metrics sidecar "
+                            "(engine-backed figures only)")
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("number", choices=sorted(_TABLES))
     tab_p.add_argument("--scale", type=int, default=1)
     _add_engine_args(tab_p)
+    tab_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the per-cell metrics sidecar "
+                            "(engine-backed tables only)")
+
+    trace_p = sub.add_parser(
+        "trace", help="run a program with the event tracer attached and "
+                      "inspect/export the capability events")
+    trace_p.add_argument("file", help="assembly source (mini-x86 dialect)")
+    _add_variant_arg(trace_p)
+    trace_p.add_argument("--kind", action="append", choices=EVENT_KINDS,
+                         metavar="KIND", default=None,
+                         help="only show these event kinds (repeatable; "
+                              f"choices: {', '.join(EVENT_KINDS)})")
+    trace_p.add_argument("--pc", type=lambda s: int(s, 0), default=None,
+                         metavar="ADDR",
+                         help="only events at this instruction address "
+                              "(accepts 0x hex)")
+    trace_p.add_argument("--limit", type=int, default=50, metavar="N",
+                         help="print at most the last N matching events "
+                              "(default: 50; 0 = all retained)")
+    trace_p.add_argument("--capacity", type=int, default=65536, metavar="N",
+                         help="event ring-buffer size (default: 65536)")
+    trace_p.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the matching events to FILE")
+    trace_p.add_argument("--format", default="text",
+                         choices=("text", "jsonl", "chrome"),
+                         help="--out format (default: text)")
+    trace_p.add_argument("--max-instructions", type=int, default=2_000_000)
+    trace_p.add_argument("--no-heap-library", action="store_true",
+                         help="do not append the standard heap library")
 
     sec_p = sub.add_parser("security", help="run the exploit suites")
     sec_p.add_argument("--ripe-limit", type=int, default=None,
@@ -177,6 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args) -> int:
+    from pathlib import Path
+
     source = _read_program(args.file)
     if not args.no_heap_library and "malloc:" not in source:
         source += "\n" + heap_library_asm()
@@ -191,19 +264,38 @@ def cmd_run(args) -> int:
               f"instrumented (+{report.code_growth} instructions)")
     machine = Chex86Machine(program, variant=variant,
                             halt_on_violation=args.trap)
+    tracer = None
+    if args.trace_out:
+        if args.trace_capacity < 1:
+            raise CliError(f"--trace-capacity must be >= 1, "
+                           f"got {args.trace_capacity}")
+        tracer = EventTracer(capacity=args.trace_capacity)
+        machine.attach_tracer(tracer)
     profiler = _start_profiler(args.profile)
     result = machine.run(max_instructions=args.max_instructions)
     if profiler is not None:
-        _finish_profiler(profiler, args.profile_out)
+        _finish_profiler(profiler, _profile_out(args, Path(args.file).stem))
         _print_phase_counters(machine.phase_counters())
     print(machine.stats_summary())
     for violation in result.violations.violations:
         print(f"VIOLATION: {violation}")
     if result.flagged:
-        from .analysis.diagnostics import explain_violation
+        from .analysis.diagnostics import explain_all_violations
 
         print()
-        print(explain_violation(machine))
+        print(explain_all_violations(machine))
+    if args.metrics_out:
+        write_snapshot(args.metrics_out, machine.metrics_snapshot(),
+                       meta={"program": args.file, "variant": args.variant})
+        print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
+    if tracer is not None:
+        if args.trace_format == "chrome":
+            tracer.write_chrome(args.trace_out,
+                                process_name=Path(args.file).stem)
+        else:
+            tracer.write_jsonl(args.trace_out)
+        print(f"trace: wrote {len(tracer)} event(s) to {args.trace_out} "
+              f"({tracer.dropped} dropped)", file=sys.stderr)
     return 1 if result.flagged else 0
 
 
@@ -214,8 +306,14 @@ def cmd_workload(args) -> int:
     profiler = _start_profiler(args.profile)
     run = run_benchmark(workload, _VARIANTS[args.variant])
     if profiler is not None:
-        _finish_profiler(profiler, args.profile_out)
+        _finish_profiler(profiler, _profile_out(args, workload.name))
         _print_phase_counters(run.phase_counters)
+    if args.metrics_out:
+        write_snapshot(args.metrics_out, run.metrics,
+                       meta={"workload": workload.name,
+                             "variant": args.variant,
+                             "scale": args.scale})
+        print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
     print(f"{workload.name} ({workload.suite}, {workload.threads} thread(s)) "
           f"under {args.variant}:")
     print(f"  instructions      {run.instructions:>12,}")
@@ -237,13 +335,25 @@ def _echo_stderr(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _write_cell_sidecar(engine: EvalEngine, module, args,
+                        artifact: str) -> None:
+    engine.write_metrics(args.metrics_out,
+                         module.cell_specs(scale=args.scale), artifact)
+    print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
+
+
 def cmd_figure(args) -> int:
     module = _FIGURES[args.number]
+    if args.metrics_out and args.number not in _ENGINE_FIGURES:
+        raise CliError(f"--metrics-out requires an engine-backed figure "
+                       f"({', '.join(sorted(_ENGINE_FIGURES))})")
     if args.number == "1":
         result = module.run()
     elif args.number in _ENGINE_FIGURES:
         engine = _engine_from(args, _echo_stderr)
         result = module.run(scale=args.scale, engine=engine)
+        if args.metrics_out:
+            _write_cell_sidecar(engine, module, args, f"fig{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -252,11 +362,16 @@ def cmd_figure(args) -> int:
 
 def cmd_table(args) -> int:
     module = _TABLES[args.number]
+    if args.metrics_out and args.number not in _ENGINE_TABLES:
+        raise CliError(f"--metrics-out requires an engine-backed table "
+                       f"({', '.join(sorted(_ENGINE_TABLES))})")
     if args.number == "3":
         result = module.run()
     elif args.number in _ENGINE_TABLES:
         engine = _engine_from(args, _echo_stderr)
         result = module.run(scale=args.scale, engine=engine)
+        if args.metrics_out:
+            _write_cell_sidecar(engine, module, args, f"table{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -267,6 +382,52 @@ def cmd_security(args) -> int:
     result = security.run(ripe_limit=args.ripe_limit)
     print(result.format_text())
     return 0 if result.all_flagged() else 1
+
+
+def cmd_trace(args) -> int:
+    from pathlib import Path
+
+    if args.capacity < 1:
+        raise CliError(f"--capacity must be >= 1, got {args.capacity}")
+    if args.limit < 0:
+        raise CliError(f"--limit must be >= 0, got {args.limit}")
+    source = _read_program(args.file)
+    if not args.no_heap_library and "malloc:" not in source:
+        source += "\n" + heap_library_asm()
+    program = assemble(source, name=args.file)
+    machine = Chex86Machine(program, variant=_VARIANTS[args.variant],
+                            halt_on_violation=False)
+    tracer = EventTracer(capacity=args.capacity)
+    machine.attach_tracer(tracer)
+    machine.run(max_instructions=args.max_instructions)
+
+    events = tracer.filtered(kinds=args.kind, pc=args.pc)
+    shown = events if not args.limit else events[-args.limit:]
+    for event in shown:
+        print(event.format_text())
+    if len(shown) < len(events):
+        print(f"... showing last {len(shown)} of {len(events)} matching "
+              f"event(s); raise --limit for more", file=sys.stderr)
+
+    counts = tracer.kind_counts()
+    summary = ", ".join(f"{kind}={counts[kind]}" for kind in EVENT_KINDS
+                        if kind in counts) or "none"
+    print(f"events: {tracer.emitted} emitted, {tracer.dropped} dropped "
+          f"({summary})", file=sys.stderr)
+
+    if args.out:
+        if args.format == "chrome":
+            tracer.write_chrome(args.out, process_name=Path(args.file).stem,
+                                events=events)
+        elif args.format == "jsonl":
+            tracer.write_jsonl(args.out, events=events)
+        else:
+            Path(args.out).write_text(
+                "\n".join(event.format_text() for event in events)
+                + ("\n" if events else ""))
+        print(f"trace: wrote {len(events)} event(s) to {args.out}",
+              file=sys.stderr)
+    return 0
 
 
 def cmd_debug(args) -> int:
@@ -307,6 +468,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "table": cmd_table,
         "security": cmd_security,
+        "trace": cmd_trace,
         "debug": cmd_debug,
         "reproduce": cmd_reproduce,
         "list": cmd_list,

@@ -147,3 +147,23 @@ def explain_violation(machine: Chex86Machine,
         sections.append("")
         sections.append(hint)
     return "\n".join(line for line in sections if line is not None)
+
+
+def explain_all_violations(machine: Chex86Machine) -> str:
+    """One report per recorded violation, in flag order.
+
+    A run with ``halt_on_violation=False`` can accumulate many distinct
+    violations; reporting only the first hides the rest of the story
+    (e.g. an out-of-bounds write followed by the use-after-free it set
+    up).  Each report is the full :func:`explain_violation` rendering.
+    """
+    violations = machine.violations.violations
+    if not violations:
+        return "no violations recorded"
+    count = len(violations)
+    sections = [f"{count} violation(s) recorded"]
+    for index, violation in enumerate(violations, start=1):
+        sections.append("")
+        sections.append(f"--- violation {index} of {count} ---")
+        sections.append(explain_violation(machine, violation))
+    return "\n".join(sections)

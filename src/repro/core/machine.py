@@ -36,6 +36,8 @@ from ..microop.uops import AluOp, NUM_UREGS, Uop, UopKind
 from ..pipeline.branch import FrontEndPredictors
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
 from ..pipeline.timing import FuType, TimingModel
+from ..telemetry.registry import MERGE_LAST, MetricsRegistry
+from ..telemetry.tracer import EventTracer
 from .alias import AliasCache, StoreBufferPids, WALK_LEVELS
 from .capability import CAPABILITY_BYTES, WILD_PID
 from .checker import HardwareChecker
@@ -240,6 +242,17 @@ class Chex86Machine:
         self.trace_limit: int = 0
         self.execution_trace: List[Tuple[int, Instr]] = []
 
+        # Telemetry: the pull-based metrics registry reads the plain-int
+        # stats counters above only when a snapshot is taken, so the hot
+        # loop never pays for it.  The event tracer is off (None) until
+        # attach_tracer(); emit sites test `self._tracer is not None`.
+        self.telemetry = MetricsRegistry()
+        self._register_metrics(self.telemetry)
+        self._tracer: Optional[EventTracer] = None
+        self._quantum_metrics = False
+        self._quantum_base: Optional[Dict[str, float]] = None
+        self.quantum_deltas: List[Dict[str, float]] = []
+
         self._load_program()
 
     # ------------------------------------------------------------------ load
@@ -276,34 +289,111 @@ class Chex86Machine:
         """PID assigned to a symbol-table global at load (0 if untracked)."""
         return self._global_pids.get(name, 0)
 
+    # ------------------------------------------------------------- telemetry
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Wire every subsystem's stats into the metrics registry.
+
+        The hierarchical naming scheme (docs/observability.md):
+        ``machine.*`` (front-end/commit counts and the MCU/tracker),
+        ``predictor.*``, ``cache.{cap,alias,l1i,l1d}.*``, ``timing.*``,
+        ``heap.*`` (system-shared, merge=last), ``shadow.*`` and
+        ``violations.*``.  Derived paper metrics (uop expansion, miss
+        rates, accuracy, squash fraction, IPC) are ratio metrics, so
+        merged/differenced snapshots recompute them correctly.
+        """
+        registry.register_object("machine", self, {
+            "instructions": "instructions",
+            "uops": "total_uops",
+            "native_uops": "native_uops",
+        })
+        registry.ratio("machine.ipc", "machine.instructions",
+                       "timing.cycles")
+        registry.ratio("machine.uop_expansion", "machine.uops",
+                       "machine.native_uops")
+        self.mcu.stats.register_metrics(registry, "machine.mcu")
+        self.tracker.stats.register_metrics(registry, "machine.tracker")
+        self.reload_predictor.stats.register_metrics(registry, "predictor")
+        self.capcache.stats.register_metrics(registry, "cache.cap")
+        self.alias_cache.stats.register_metrics(registry, "cache.alias")
+        self.timing.register_metrics(registry, "timing")
+        self.allocator.stats.register_metrics(registry, "heap")
+        registry.gauge("shadow.bytes",
+                       lambda machine=self: machine.system.shadow_bytes,
+                       merge=MERGE_LAST)
+        registry.gauge("shadow.capabilities",
+                       lambda machine=self: len(machine.captable),
+                       merge=MERGE_LAST)
+        registry.gauge("shadow.live_aliases",
+                       lambda machine=self: machine.alias_table.live_entries,
+                       merge=MERGE_LAST)
+        registry.gauge("violations.count",
+                       lambda machine=self: machine.violations.count())
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Finalized snapshot of every registered metric (finishes the
+        timing model first so ``timing.cycles`` is current)."""
+        self.timing.finish()
+        return self.telemetry.snapshot()
+
+    def attach_tracer(self, tracer: EventTracer) -> EventTracer:
+        """Start streaming structured events into ``tracer``."""
+        self._tracer = tracer
+        return tracer
+
+    def detach_tracer(self) -> Optional[EventTracer]:
+        tracer, self._tracer = self._tracer, None
+        return tracer
+
+    def enable_quantum_metrics(self) -> None:
+        """Record a metrics delta at every ``run_quantum`` boundary.
+
+        Each entry of :attr:`quantum_deltas` covers exactly one quantum:
+        counters are differenced against the previous boundary and ratio
+        metrics recomputed over the interval, so a quantum's miss rate is
+        *its* miss rate, not the cumulative one.
+        """
+        self._quantum_metrics = True
+        self._quantum_base = self.metrics_snapshot()
+
+    def _record_quantum(self) -> None:
+        snapshot = self.metrics_snapshot()
+        self.quantum_deltas.append(
+            self.telemetry.delta(self._quantum_base, snapshot))
+        self._quantum_base = snapshot
+
     def stats_summary(self) -> str:
-        """Human-readable digest of every subsystem's statistics."""
-        timing = self.timing.finish()
-        predictor = self.reload_predictor.stats
-        ipc = self.instructions / timing.cycles if timing.cycles else 0.0
+        """Human-readable digest of every subsystem's statistics.
+
+        Rendered from the metrics registry: the snapshot is the single
+        source, and this is just one formatting of it (byte-identical to
+        the historical hand-assembled summary).
+        """
+        snap = self.metrics_snapshot()
         lines = [
             f"program {self.program.name!r} under {self.variant.value}:",
-            f"  instructions  {self.instructions:>12,}   "
-            f"uops {self.total_uops:,} "
-            f"({self.mcu.stats.injected_uops:,} injected)",
-            f"  cycles        {timing.cycles:>12,}   IPC {ipc:.2f}",
-            f"  capability$   {self.capcache.stats.accesses:>12,} accesses, "
-            f"{self.capcache.stats.miss_rate:.1%} miss",
-            f"  alias$        {self.alias_cache.stats.accesses:>12,} accesses, "
-            f"{self.alias_cache.stats.miss_rate:.1%} miss",
-            f"  reload pred.  {predictor.lookups:>12,} lookups, "
-            f"{predictor.accuracy:.1%} accurate "
-            f"(P0AN {predictor.p0an} / PNA0 {predictor.pna0} "
-            f"/ PMAN {predictor.pman})",
-            f"  squash        {timing.squash_fraction:>11.1%} of time "
-            f"({timing.alias_squash_cycles:,} alias cycles)",
-            f"  heap          {self.allocator.stats.total_allocs:,} allocs, "
-            f"{self.allocator.stats.total_frees:,} frees, "
-            f"peak live {self.allocator.stats.max_live:,}",
-            f"  shadow        {self.system.shadow_bytes:,} B "
-            f"({len(self.captable)} capabilities, "
-            f"{self.alias_table.live_entries} live aliases)",
-            f"  violations    {self.violations.count():,}",
+            f"  instructions  {snap['machine.instructions']:>12,}   "
+            f"uops {snap['machine.uops']:,} "
+            f"({snap['machine.mcu.injected_uops']:,} injected)",
+            f"  cycles        {snap['timing.cycles']:>12,}   "
+            f"IPC {snap['machine.ipc']:.2f}",
+            f"  capability$   {snap['cache.cap.accesses']:>12,} accesses, "
+            f"{snap['cache.cap.miss_rate']:.1%} miss",
+            f"  alias$        {snap['cache.alias.accesses']:>12,} accesses, "
+            f"{snap['cache.alias.miss_rate']:.1%} miss",
+            f"  reload pred.  {snap['predictor.lookups']:>12,} lookups, "
+            f"{snap['predictor.accuracy']:.1%} accurate "
+            f"(P0AN {snap['predictor.p0an']} / PNA0 {snap['predictor.pna0']} "
+            f"/ PMAN {snap['predictor.pman']})",
+            f"  squash        {snap['timing.squash_fraction']:>11.1%} of time "
+            f"({snap['timing.alias_squash_cycles']:,} alias cycles)",
+            f"  heap          {snap['heap.total_allocs']:,} allocs, "
+            f"{snap['heap.total_frees']:,} frees, "
+            f"peak live {snap['heap.max_live']:,}",
+            f"  shadow        {snap['shadow.bytes']:,} B "
+            f"({snap['shadow.capabilities']} capabilities, "
+            f"{snap['shadow.live_aliases']} live aliases)",
+            f"  violations    {snap['violations.count']:,}",
         ]
         return "\n".join(lines)
 
@@ -337,6 +427,8 @@ class Chex86Machine:
         except CapabilityException as exc:
             self.violations.record(exc.violation)
             self.halted = True
+        if self._quantum_metrics:
+            self._record_quantum()
         return executed
 
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
@@ -389,6 +481,9 @@ class Chex86Machine:
         mcu = self.mcu
         if block.intercept_deltas is not None:
             mcu.apply_intercept_stats(block.intercept_deltas)
+            if self._tracer is not None:
+                self._tracer.emit(self.timing.now, "uop_inject", pc,
+                                  uops=block.intercept_deltas[4])
         self.timing.begin_macro(pc, block.fetch_slots, block.msrom)
 
         next_rip = block.fallthrough
@@ -644,6 +739,11 @@ class Chex86Machine:
         else:
             actual = 0
         outcome = self.reload_predictor.update(pc, predicted, actual)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.timing.now, "predictor", pc,
+                        predicted=predicted, actual=actual,
+                        outcome=outcome or "correct")
         if self._tracked_policy:
             if outcome == MispredictKind.P0AN:
                 # Missing check: flush, squash, re-inject (Figure 5d).
@@ -653,6 +753,10 @@ class Chex86Machine:
                                      alias=True)
                 self.tracker.squash(seq)
                 self.store_buffer.squash_after(seq)
+                if tracer is not None:
+                    tracer.emit(self.timing.now, "squash", pc,
+                                cause="alias",
+                                penalty=self._flush_penalty)
             elif outcome == MispredictKind.PNA0:
                 # The check injected for the predicted PID becomes a zero
                 # idiom, squashed at the instruction queue (Figure 5c).
@@ -722,6 +826,9 @@ class Chex86Machine:
             if self._tracks:
                 self.tracker.squash(seq)
                 self.store_buffer.squash_after(seq)
+            if self._tracer is not None:
+                self._tracer.emit(self.timing.now, "squash", pc,
+                                  cause="branch", penalty=self._br_penalty)
         elif taken:
             self.timing.taken_branch()
         return uop.target if taken else None
@@ -741,6 +848,9 @@ class Chex86Machine:
             if self._tracks:
                 self.tracker.squash(seq)
                 self.store_buffer.squash_after(seq)
+            if self._tracer is not None:
+                self._tracer.emit(self.timing.now, "squash", pc,
+                                  cause="branch", penalty=self._br_penalty)
         else:
             self.timing.taken_branch()
         return actual
@@ -763,6 +873,9 @@ class Chex86Machine:
             self.timing.schedule(uop.reg_reads(), None,
                                  self._capcheck_latency, FuType.CMU,
                                  False, False, self._capcheck_latency)
+            if self._tracer is not None:
+                self._tracer.emit(self.timing.now, "capcheck", pc,
+                                  pid=0, address=address, ok=True)
             return
         latency = self._capcheck_latency
         if not self.capcache.access(pid):
@@ -775,6 +888,10 @@ class Chex86Machine:
                              False, False, self._capcheck_latency)
         violation = self.captable.check(pid, address, 8,
                                         write=uop.check_write)
+        if self._tracer is not None:
+            self._tracer.emit(self.timing.now, "capcheck", pc,
+                              pid=pid, address=address,
+                              ok=violation is None)
         if violation is not None:
             self._flag(violation, pc)
         elif pid > 0:
@@ -817,6 +934,11 @@ class Chex86Machine:
         base = self.regs[uop.srcs[0]]
         self.captable.end_generation(pid, base)
         self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
+        if self._tracer is not None:
+            capability = self.captable.get(pid)
+            self._tracer.emit(
+                self.timing.now, "capgen", pc, pid=pid, base=base,
+                size=capability.bounds if capability is not None else 0)
         # The return register carries the PID even when the allocation
         # failed: the capability exists but was never validated, so any
         # dereference of the NULL return is flagged.
@@ -855,6 +977,8 @@ class Chex86Machine:
         self.captable.end_free(pid)
         self.capcache.invalidate(pid)
         self.system.broadcast_cap_invalidate(pid, self.core_id)
+        if self._tracer is not None:
+            self._tracer.emit(self.timing.now, "capfree", pc, pid=pid)
 
     # -- host escapes -------------------------------------------------------------------------
 
@@ -890,6 +1014,11 @@ class Chex86Machine:
             kind=violation.kind, pid=violation.pid, address=violation.address,
             size=violation.size, instr_address=pc, detail=violation.detail,
         )
+        if self._tracer is not None:
+            self._tracer.emit(self.timing.now, "violation", pc,
+                              violation=violation.kind.value,
+                              pid=violation.pid,
+                              address=violation.address)
         if self.halt_on_violation:
             raise CapabilityException(violation)
         self.violations.record(violation)

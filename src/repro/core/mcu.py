@@ -85,6 +85,13 @@ class McuStats:
     exit_intercepts: int = 0
     zero_idioms: int = 0
 
+    def register_metrics(self, registry, prefix: str = "machine.mcu") -> None:
+        """Expose the injection counters as ``<prefix>.*`` pull gauges."""
+        registry.register_object(prefix, self, (
+            "injected_uops", "capchecks", "capchecks_suppressed_context",
+            "capgen_events", "capfree_events", "entry_intercepts",
+            "exit_intercepts", "zero_idioms"))
+
 
 class MicrocodeCustomizationUnit:
     """Injects capability micro-ops into the decoded stream."""

@@ -55,6 +55,23 @@ class PredictorStats:
     def misprediction_rate(self) -> float:
         return 1.0 - self.accuracy
 
+    def register_metrics(self, registry, prefix: str = "predictor") -> None:
+        """Expose the prediction counters as ``<prefix>.*`` gauges.
+
+        ``accuracy`` defaults to 1.0 on zero lookups, matching the
+        :attr:`accuracy` property exactly (a predictor that was never
+        consulted was never wrong).
+        """
+        registry.register_object(prefix, self, (
+            "lookups", "predictions", "correct", "pna0", "p0an", "pman",
+            "blacklist_filtered"))
+        registry.gauge(f"{prefix}.mispredictions",
+                       lambda stats=self: stats.mispredictions)
+        registry.ratio(f"{prefix}.accuracy",
+                       f"{prefix}.correct", f"{prefix}.lookups", default=1.0)
+        registry.ratio(f"{prefix}.misprediction_rate",
+                       f"{prefix}.mispredictions", f"{prefix}.lookups")
+
 
 class _Entry:
     __slots__ = ("tag", "last_pid", "stride", "conf", "useful")

@@ -36,6 +36,13 @@ class TrackerStats:
     squashes: int = 0
     squashed_tags: int = 0
 
+    def register_metrics(self, registry,
+                         prefix: str = "machine.tracker") -> None:
+        """Expose the rule-application counters as ``<prefix>.*`` gauges."""
+        registry.register_object(prefix, self, (
+            "transfers", "wild_assignments", "zeroed", "commits",
+            "squashes", "squashed_tags"))
+
 
 class _RegTag:
     """PID tag of one architectural register: finalized + transient vector."""

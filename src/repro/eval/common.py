@@ -70,6 +70,11 @@ class BenchmarkRun:
     #: Flat per-phase cycle/uop counters summed over cores (the
     #: ``--profile`` surface; see ``Chex86Machine.phase_counters``).
     phase_counters: Dict[str, int] = field(default_factory=dict)
+    #: Full telemetry-registry snapshot merged over cores (counters
+    #: summed, system gauges kept once, ratio metrics recomputed) — the
+    #: per-cell metrics sidecar the engine exports to
+    #: ``results/metrics/<artifact>.json``.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     # -- derived metrics ----------------------------------------------------
 
@@ -208,6 +213,10 @@ def _collect(workload: Workload, label: str, cores: List[Chex86Machine],
     for core in cores:
         for counter, value in core.phase_counters().items():
             phase[counter] = phase.get(counter, 0) + value
+    # Merge the per-core registry snapshots under the first core's merge
+    # spec (every core wires the same metric tree).
+    metrics = cores[0].telemetry.merge(
+        [core.telemetry.snapshot() for core in cores])
     return BenchmarkRun(
         benchmark=workload.name,
         suite=workload.suite,
@@ -237,4 +246,5 @@ def _collect(workload: Workload, label: str, cores: List[Chex86Machine],
         shadow_rss_bytes=system.shadow_bytes,
         frequency_ghz=config.frequency_ghz,
         phase_counters=phase,
+        metrics=metrics,
     )

@@ -35,17 +35,19 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import __version__
 from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
 from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..telemetry.registry import METRICS_SCHEMA, MetricsRegistry
 from .common import BenchmarkRun, run_benchmark
 
 #: Bumped whenever the cache record layout (not the simulated behaviour)
-#: changes; old records are silently recomputed.
-CACHE_SCHEMA = 2
+#: changes; old records are silently recomputed.  3: BenchmarkRun grew
+#: the ``metrics`` telemetry snapshot.
+CACHE_SCHEMA = 3
 
 #: Default location of the on-disk cell cache.
 DEFAULT_CACHE_DIR = "results/.cellcache"
@@ -237,6 +239,18 @@ class EvalEngine:
         self.echo = echo if echo is not None else (lambda message: None)
         self.stats = EngineStats()
         self._memo: Dict[CellSpec, object] = {}
+        # Engine-side accounting uses push instruments (no stats object
+        # drives these increments) plus a latency histogram per cell.
+        self.telemetry = MetricsRegistry()
+        self._computed_counter = self.telemetry.counter(
+            "engine.cells_computed")
+        self._cached_counter = self.telemetry.counter("engine.cells_cached")
+        self._cell_seconds = self.telemetry.histogram(
+            "engine.cell_seconds",
+            (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0))
+        self.telemetry.gauge("engine.simulated_instructions",
+                             lambda stats=self.stats:
+                             stats.simulated_instructions)
 
     @classmethod
     def serial(cls) -> "EvalEngine":
@@ -252,6 +266,55 @@ class EvalEngine:
         """Snapshot of every (spec, result) resolved so far — the
         ``--profile`` report aggregates phase counters from this."""
         return dict(self._memo)
+
+    def cell_metrics(self, specs: Sequence[CellSpec]
+                     ) -> List[Dict[str, object]]:
+        """Per-cell metrics records for every resolved *benchmark* spec.
+
+        Each record carries the cell address (workload, defense, scale,
+        kind) plus the full merged telemetry snapshot the worker
+        collected (``BenchmarkRun.metrics``).  Unresolved specs and
+        pattern cells (which carry no registry) are skipped.
+        """
+        records: List[Dict[str, object]] = []
+        seen = set()
+        for spec in specs:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            result = self._memo.get(spec)
+            if not isinstance(result, BenchmarkRun):
+                continue
+            records.append({
+                "workload": spec.workload,
+                "defense": spec.defense,
+                "scale": spec.scale,
+                "kind": spec.kind,
+                "metrics": {name: result.metrics[name]
+                            for name in sorted(result.metrics)},
+            })
+        return records
+
+    def write_metrics(self, path: Union[str, Path],
+                      specs: Sequence[CellSpec], artifact: str) -> None:
+        """Write the per-cell metrics sidecar for one figure/table.
+
+        The document pairs every benchmark cell's merged registry
+        snapshot with the engine's own accounting snapshot, so a single
+        file answers both "what did the simulator count in this cell"
+        and "what did it cost to produce".
+        """
+        document = {
+            "schema": METRICS_SCHEMA,
+            "artifact": artifact,
+            "engine": self.telemetry.snapshot(),
+            "cells": self.cell_metrics(specs),
+        }
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
 
     def run_cells(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, object]:
         """Resolve every spec, computing each unique cell at most once.
@@ -277,6 +340,7 @@ class EvalEngine:
             if cached is not None:
                 self._memo[spec] = cached
                 self.stats.cached += 1
+                self._cached_counter.inc()
                 done += 1
                 self.echo(f"[cell {done}/{total}] {spec.label} cached")
             else:
@@ -322,6 +386,8 @@ class EvalEngine:
         result = decode_result(spec, encoded)
         self._memo[spec] = result
         self.stats.computed += 1
+        self._computed_counter.inc()
+        self._cell_seconds.observe(seconds)
         self.stats.simulated_instructions += instructions
         self.echo(f"[cell {done}/{total}] {spec.label} "
                   f"{seconds:.2f}s ({instructions:,} instr)")

@@ -63,6 +63,19 @@ def shared_cell_specs(scale: int) -> List[CellSpec]:
     )
 
 
+def _metric_cell_specs(scale: int) -> Dict[str, List[CellSpec]]:
+    """The cells backing each engine-fed artifact, keyed by artifact
+    name — the layout of the ``results/metrics/`` sidecar directory."""
+    return {
+        "table2": table2.cell_specs(scale=scale),
+        "fig6": fig6.cell_specs(scale=scale),
+        "fig7": fig7.cell_specs(scale=scale),
+        "fig8": fig8.cell_specs(scale=scale),
+        "fig9": fig9.cell_specs(scale=scale),
+        "table4": table4.cell_specs(scale=scale),
+    }
+
+
 def _headline(name: str, result) -> Dict[str, object]:
     """Pull each artifact's headline numbers for summary.json."""
     if name == "fig1":
@@ -162,6 +175,10 @@ def reproduce(out_dir: str = "results", scale: int = 1,
                                 headline=_headline(name, result))
         records.append(record)
         echo(f"[{elapsed:6.1f}s] {name}: {record.headline}")
+    metrics_dir = out / "metrics"
+    for name, specs in _metric_cell_specs(scale).items():
+        engine.write_metrics(metrics_dir / f"{name}.json", specs, name)
+    echo(f"wrote per-cell metrics sidecars to {metrics_dir}/")
     summary = {
         "scale": scale,
         "artifacts": {r.name: {"seconds": r.seconds, **r.headline}

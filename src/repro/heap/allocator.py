@@ -82,6 +82,19 @@ class HeapStats:
         self.total_frees += 1
         self.live -= 1
 
+    def register_metrics(self, registry, prefix: str = "heap") -> None:
+        """Expose the allocator counters as ``<prefix>.*`` gauges.
+
+        The allocator is *system*-shared: in a multicore run every core's
+        registry reads the same object, so the metrics merge with
+        ``last`` (one copy), never summed across cores.
+        """
+        from ..telemetry.registry import MERGE_LAST
+
+        registry.register_object(prefix, self, (
+            "total_allocs", "total_frees", "failed_allocs", "live",
+            "max_live", "bytes_allocated"), merge=MERGE_LAST)
+
 
 class HeapAllocator:
     """The allocator backing the registered heap-management routines."""

@@ -42,6 +42,21 @@ class CacheStats:
     def hit_rate(self) -> float:
         return 1.0 - self.miss_rate
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose these counters as ``<prefix>.*`` pull gauges.
+
+        The counters stay plain ``int`` attributes the access path
+        increments directly; ``accesses`` and ``miss_rate`` are derived
+        at snapshot time (``miss_rate`` as a re-derivable ratio so
+        multi-core merges recompute it over the summed counters).
+        """
+        registry.register_object(prefix, self, (
+            "hits", "misses", "evictions", "invalidations", "victim_hits"))
+        registry.gauge(f"{prefix}.accesses",
+                       lambda stats=self: stats.hits + stats.misses)
+        registry.ratio(f"{prefix}.miss_rate",
+                       f"{prefix}.misses", f"{prefix}.accesses")
+
 
 class SetAssocCache:
     """A set-associative tag cache with true-LRU replacement.

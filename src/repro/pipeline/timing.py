@@ -109,6 +109,25 @@ class TimingStats:
         """Per-functional-unit issue counts keyed by unit name."""
         return dict(zip(FuType.NAMES, self.fu_uops))
 
+    def register_metrics(self, registry, prefix: str = "timing") -> None:
+        """Expose the cycle/traffic counters as ``<prefix>.*`` gauges.
+
+        ``cycles`` is only final after :meth:`TimingModel.finish`;
+        snapshot takers call it first (it is idempotent).
+        """
+        registry.register_object(prefix, self, (
+            "cycles", "uops", "macro_ops", "squash_cycles",
+            "branch_squash_cycles", "alias_squash_cycles", "hostop_cycles",
+            "fetch_groups", "icache_misses", "loads", "stores",
+            "l1d_misses", "l2_misses", "dram_bytes", "shadow_dram_bytes",
+            "rob_stall_events"))
+        for index, name in enumerate(FuType.NAMES):
+            registry.gauge(
+                f"{prefix}.fu_{name}_uops",
+                lambda stats=self, i=index: stats.fu_uops[i])
+        registry.ratio(f"{prefix}.squash_fraction",
+                       f"{prefix}.squash_cycles", f"{prefix}.cycles")
+
 
 class _FuPool:
     """A pool of (pipelined) functional units.
@@ -330,6 +349,13 @@ class TimingModel:
         if commit > self._last_commit:
             self._last_commit = commit
         return done
+
+    def register_metrics(self, registry, prefix: str = "timing") -> None:
+        """Wire this core's timing stats and private caches into
+        ``registry`` (``<prefix>.*``, ``cache.l1i.*``, ``cache.l1d.*``)."""
+        self.stats.register_metrics(registry, prefix)
+        self.l1i.stats.register_metrics(registry, "cache.l1i")
+        self.l1d.stats.register_metrics(registry, "cache.l1d")
 
     def occupy(self, fu: int, ready: int, duration: int) -> int:
         """Reserve a functional unit without issuing a uop (hardware

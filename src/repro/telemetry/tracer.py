@@ -1,0 +1,195 @@
+"""Bounded ring-buffer event tracer with JSONL / Chrome trace export.
+
+The tracer records *discrete* machine events — the things the paper's
+mechanism narrative is made of — as fixed-shape tuples:
+
+======================  ====================================================
+kind                    payload fields
+======================  ====================================================
+``uop_inject``          ``uops`` — injected micro-ops at a heap-interception
+                        site (capGen/capFree begin/end pairs)
+``capcheck``            ``pid``, ``address``, ``ok`` — one executed
+                        ``capCheck`` micro-op
+``capgen``              ``pid``, ``base``, ``size`` — a capability was
+                        generated (allocation interception completed)
+``capfree``             ``pid`` — a capability was freed/invalidated
+``predictor``           ``predicted``, ``actual``, ``outcome`` — one
+                        pointer-reload prediction resolution (outcome is
+                        ``correct`` / ``P0AN`` / ``PNA0`` / ``PMAN``)
+``squash``              ``cause`` (``branch`` | ``alias``), ``penalty`` —
+                        a pipeline flush was charged
+``violation``           ``violation`` (kind label), ``pid``, ``address`` —
+                        a memory-safety violation was flagged
+======================  ====================================================
+
+Every record also carries ``ts`` (the core's current commit cycle) and
+``pc`` (the macro instruction's address).  The buffer is a preallocated
+ring: once ``capacity`` events have been emitted the oldest are
+overwritten and counted in :attr:`EventTracer.dropped`, so tracing a
+long run costs bounded memory.
+
+Exports:
+
+* :meth:`EventTracer.write_jsonl` — one JSON object per line, ordered
+  oldest-to-newest (grep/jq-friendly);
+* :meth:`EventTracer.chrome_trace` / :meth:`EventTracer.write_chrome` —
+  the Chrome ``trace_event`` JSON object format, loadable in Perfetto or
+  ``chrome://tracing`` for timeline viewing (``squash`` events become
+  duration slices, everything else instant events).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Union
+
+#: Every kind the machine emits (the ``repro trace --kind`` choices).
+EVENT_KINDS = (
+    "uop_inject",
+    "capcheck",
+    "capgen",
+    "capfree",
+    "predictor",
+    "squash",
+    "violation",
+)
+
+
+class TraceEvent(NamedTuple):
+    """One structured trace record."""
+
+    ts: int
+    kind: str
+    pc: int
+    fields: Dict[str, object]
+
+    def to_json_obj(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"ts": self.ts, "kind": self.kind,
+                                     "pc": self.pc}
+        record.update(self.fields)
+        return record
+
+    def format_text(self) -> str:
+        payload = " ".join(f"{key}={_fmt(key, value)}"
+                           for key, value in self.fields.items())
+        return f"{self.ts:>10}  {self.kind:<10} pc={self.pc:#x}" \
+               + (f"  {payload}" if payload else "")
+
+
+def _fmt(key: str, value: object) -> str:
+    if key in ("address", "base") and isinstance(value, int):
+        return f"{value:#x}"
+    return str(value)
+
+
+class EventTracer:
+    """Preallocated ring buffer of :class:`TraceEvent` records."""
+
+    __slots__ = ("capacity", "_ring", "_emitted")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._emitted = 0
+
+    # -- recording (the only method on a hot path) ---------------------------
+
+    def emit(self, ts: int, kind: str, pc: int = 0, **fields) -> None:
+        self._ring[self._emitted % self.capacity] = \
+            TraceEvent(ts, kind, pc, fields)
+        self._emitted += 1
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (including overwritten ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        return max(0, self._emitted - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._emitted, self.capacity)
+
+    def records(self) -> List[TraceEvent]:
+        """Retained events, oldest first (wraparound-corrected)."""
+        count = len(self)
+        if self._emitted <= self.capacity:
+            return [event for event in self._ring[:count]
+                    if event is not None]
+        pivot = self._emitted % self.capacity
+        ordered = self._ring[pivot:] + self._ring[:pivot]
+        return [event for event in ordered if event is not None]
+
+    def filtered(self, kinds: Optional[Sequence[str]] = None,
+                 pc: Optional[int] = None) -> List[TraceEvent]:
+        """Retained events restricted to ``kinds`` and/or one ``pc``."""
+        wanted = set(kinds) if kinds else None
+        return [event for event in self.records()
+                if (wanted is None or event.kind in wanted)
+                and (pc is None or event.pc == pc)]
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.records():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- export --------------------------------------------------------------
+
+    def jsonl_lines(self, events: Optional[Iterable[TraceEvent]] = None
+                    ) -> List[str]:
+        source = self.records() if events is None else events
+        return [json.dumps(event.to_json_obj(), sort_keys=True)
+                for event in source]
+
+    def write_jsonl(self, path: Union[str, Path],
+                    events: Optional[Iterable[TraceEvent]] = None) -> None:
+        lines = self.jsonl_lines(events)
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    def chrome_trace(self, process_name: str = "chex86",
+                     events: Optional[Iterable[TraceEvent]] = None
+                     ) -> Dict[str, object]:
+        """The Chrome ``trace_event`` JSON object form of the buffer.
+
+        ``ts`` is in microseconds by spec; we map one simulated cycle to
+        one microsecond, which keeps relative spacing exact and renders
+        readably in Perfetto / ``chrome://tracing``.
+        """
+        trace_events: List[Dict[str, object]] = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        source = self.records() if events is None else events
+        for event in source:
+            args = dict(event.fields)
+            args["pc"] = f"{event.pc:#x}"
+            record: Dict[str, object] = {
+                "name": event.kind,
+                "cat": "chex86",
+                "ts": event.ts,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+            if event.kind == "squash":
+                record["ph"] = "X"
+                record["dur"] = max(1, int(event.fields.get("penalty", 1)))
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            trace_events.append(record)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+    def write_chrome(self, path: Union[str, Path],
+                     process_name: str = "chex86",
+                     events: Optional[Iterable[TraceEvent]] = None) -> None:
+        document = self.chrome_trace(process_name, events)
+        Path(path).write_text(json.dumps(document) + "\n")

@@ -90,6 +90,101 @@ class TestCommands:
         assert "How2Heap" in out
 
 
+class TestTelemetryFlags:
+    def test_run_metrics_out(self, program_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "m.json"
+        assert main(["run", program_file, "--metrics-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert doc["metrics"]["machine.instructions"] > 0
+        assert doc["meta"]["variant"] == "ucode-prediction"
+
+    def test_run_trace_out_jsonl(self, program_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        assert main(["run", program_file, "--trace-out", str(path)]) == 0
+        kinds = {json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()}
+        assert "capgen" in kinds
+        assert "trace: wrote" in capsys.readouterr().err
+
+    def test_run_trace_out_chrome(self, program_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.json"
+        assert main(["run", program_file, "--trace-out", str(path),
+                     "--trace-format", "chrome"]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+
+    def test_trace_subcommand_filters(self, program_file, capsys):
+        assert main(["trace", program_file, "--kind", "capcheck"]) == 0
+        captured = capsys.readouterr()
+        assert "capcheck" in captured.out
+        assert "capgen" not in captured.out
+        assert "emitted" in captured.err
+
+    def test_trace_bad_capacity(self, program_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", program_file, "--capacity", "0"])
+        assert exc.value.code == 2
+
+    def test_workload_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "wm.json"
+        assert main(["workload", "lbm", "--metrics-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["meta"]["workload"] == "lbm"
+        assert doc["metrics"]["machine.instructions"] > 0
+
+    def test_figure_metrics_out_requires_engine(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure", "1", "--metrics-out", "x.json"])
+        assert exc.value.code == 2
+        assert "engine-backed" in capsys.readouterr().err
+
+
+class TestProfileOutDefault:
+    def test_derived_from_program_stem(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "myprog.s"
+        path.write_text("main:\n    mov rax, 1\n    halt\n")
+        assert main(["run", str(path), "--profile",
+                     "--no-heap-library"]) == 0
+        assert (tmp_path / "myprog.prof").exists()
+
+    def test_explicit_path_wins(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "myprog.s"
+        path.write_text("main:\n    mov rax, 1\n    halt\n")
+        assert main(["run", str(path), "--profile", "--no-heap-library",
+                     "--profile-out", str(tmp_path / "custom.prof")]) == 0
+        assert (tmp_path / "custom.prof").exists()
+        assert not (tmp_path / "myprog.prof").exists()
+
+    def test_phase_counters_sorted_with_total(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "p.s"
+        path.write_text("main:\n    mov rax, 1\n    halt\n")
+        assert main(["run", str(path), "--profile",
+                     "--no-heap-library"]) == 0
+        out = capsys.readouterr().out
+        block = out.split("phase counters:\n", 1)[1]
+        names = []
+        for line in block.splitlines():
+            if not line.startswith("  "):
+                break
+            names.append(line.split()[0])
+        assert names[-1] == "total"
+        counters = names[:-1]
+        assert counters == sorted(counters)
+
+
 class TestTranslateFlag:
     def test_run_translate_detects_via_explicit_checks(self, buggy_file,
                                                        capsys):

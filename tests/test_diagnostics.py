@@ -93,3 +93,28 @@ class TestExplainViolation:
         second = machine.violations.violations[1]
         report = explain_violation(machine, second)
         assert "mov [rax + 80], 1" in report
+
+
+class TestExplainAllViolations:
+    def test_every_violation_reported(self):
+        from repro.analysis.diagnostics import explain_all_violations
+
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov [rax + 72], 1
+    mov [rax + 80], 1
+""")
+        assert len(machine.violations.violations) == 2
+        report = explain_all_violations(machine)
+        assert "2 violation(s) recorded" in report
+        assert "violation 1 of 2" in report
+        assert "violation 2 of 2" in report
+        assert "mov [rax + 72], 1" in report
+        assert "mov [rax + 80], 1" in report
+
+    def test_no_violations(self):
+        from repro.analysis.diagnostics import explain_all_violations
+
+        machine = machine_with_violation("    mov rax, 1")
+        assert explain_all_violations(machine) == "no violations recorded"
