@@ -40,7 +40,9 @@ import sys
 from .core import Chex86Machine, Variant
 from .eval import fig1, fig3, fig6, fig7, fig8, fig9, security
 from .eval import table1, table2, table3, table4
-from .eval.engine import DEFAULT_CACHE_DIR, EvalEngine
+from .eval.engine import (CellFailure, DEFAULT_CACHE_DIR,
+                          DEFAULT_MAX_RETRIES, DEFAULT_RETRY_BACKOFF,
+                          EvalEngine)
 from .heap import heap_library_asm
 from .isa import assemble
 from .telemetry import EVENT_KINDS, EventTracer, write_snapshot
@@ -76,6 +78,23 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help=f"cell cache directory "
                              f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and retry any single simulation cell "
+                             "running longer than this (default: no limit)")
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES, metavar="N",
+                        help="re-dispatch a crashed/hung/raising cell up to "
+                             f"N times (default: {DEFAULT_MAX_RETRIES})")
+    parser.add_argument("--retry-backoff", type=float,
+                        default=DEFAULT_RETRY_BACKOFF, metavar="SECONDS",
+                        help="base delay before a retry, doubled on every "
+                             "further attempt of the same cell "
+                             f"(default: {DEFAULT_RETRY_BACKOFF})")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep: skip cells the "
+                             "journal under the cache directory marks "
+                             "complete")
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -122,11 +141,31 @@ def _print_phase_counters(counters) -> None:
     print(f"  {'total':32s} {sum(counters.values()):>14,}")
 
 
-def _engine_from(args, echo) -> EvalEngine:
+def _validate_engine_args(args) -> None:
+    """Reject bad engine flags on *every* command that parses them —
+    including figures/tables that happen not to use the engine, so
+    ``figure 1 --jobs 0`` fails loudly instead of being ignored."""
     if args.jobs is not None and args.jobs < 1:
         raise CliError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        raise CliError(f"--cell-timeout must be > 0, got {args.cell_timeout}")
+    if args.max_retries < 0:
+        raise CliError(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.retry_backoff < 0:
+        raise CliError(f"--retry-backoff must be >= 0, "
+                       f"got {args.retry_backoff}")
+    if args.resume and args.no_cache:
+        raise CliError("--resume needs the cell cache (drop --no-cache)")
+
+
+def _engine_from(args, echo) -> EvalEngine:
+    _validate_engine_args(args)
     return EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir,
-                      use_cache=not args.no_cache, echo=echo)
+                      use_cache=not args.no_cache, echo=echo,
+                      cell_timeout=args.cell_timeout,
+                      max_retries=args.max_retries,
+                      retry_backoff=args.retry_backoff,
+                      resume=args.resume)
 
 
 def _read_program(path: str) -> str:
@@ -344,6 +383,7 @@ def _write_cell_sidecar(engine: EvalEngine, module, args,
 
 def cmd_figure(args) -> int:
     module = _FIGURES[args.number]
+    _validate_engine_args(args)
     if args.metrics_out and args.number not in _ENGINE_FIGURES:
         raise CliError(f"--metrics-out requires an engine-backed figure "
                        f"({', '.join(sorted(_ENGINE_FIGURES))})")
@@ -362,6 +402,7 @@ def cmd_figure(args) -> int:
 
 def cmd_table(args) -> int:
     module = _TABLES[args.number]
+    _validate_engine_args(args)
     if args.metrics_out and args.number not in _ENGINE_TABLES:
         raise CliError(f"--metrics-out requires an engine-backed table "
                        f"({', '.join(sorted(_ENGINE_TABLES))})")
@@ -478,6 +519,16 @@ def main(argv=None) -> int:
     except CliError as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)
+    except CellFailure as error:
+        # Simulation cells exhausted their retry budget: not a usage
+        # mistake (exit 1, not 2).  Completed cells stay cached and
+        # journaled, so re-running with --resume recomputes only these.
+        for spec, reason in error.failures:
+            print(f"error: cell {spec.label} failed permanently: {reason}",
+                  file=sys.stderr)
+        print("error: fix the cause and re-run with --resume to recompute "
+              "only the failed cells", file=sys.stderr)
+        sys.exit(1)
     except FileNotFoundError as error:
         # Anything the handlers did not anticipate (argparse already
         # rejects unknown workload/figure/table names with status 2).

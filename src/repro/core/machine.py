@@ -188,6 +188,11 @@ class Chex86Machine:
 
         # Decoded-block fast path: per-pc precompiled front-end plans and
         # the UopKind-indexed execute dispatch table (built once per core).
+        # block_cache_enabled=False forces the slow path — every dynamic
+        # instruction recompiles its block — which must be behaviourally
+        # identical to replay (the differential fuzz suite's oracle).
+        self.block_cache_enabled = True
+        self._blocks_compiled = 0
         self._blocks: Dict[int, DecodedBlock] = {}
         self._dispatch: Dict[UopKind, Callable] = {
             UopKind.LD: self._exec_load,
@@ -557,7 +562,9 @@ class Chex86Machine:
         except ValueError as exc:
             raise MachineError(
                 f"control transfer outside text: rip={pc:#x}") from exc
-        self._blocks[pc] = block
+        self._blocks_compiled += 1
+        if self.block_cache_enabled:
+            self._blocks[pc] = block
         return block
 
     def phase_counters(self) -> Dict[str, int]:
@@ -573,7 +580,7 @@ class Chex86Machine:
         counters = {
             "frontend.fetch_groups": timing.fetch_groups,
             "frontend.icache_misses": timing.icache_misses,
-            "frontend.blocks_compiled": len(self._blocks),
+            "frontend.blocks_compiled": self._blocks_compiled,
             "decode.macro_ops": decode.macro_ops,
             "decode.simple": decode.simple,
             "decode.complex": decode.complex,

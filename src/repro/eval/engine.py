@@ -14,28 +14,54 @@ The engine turns that inside out:
   ``"benchmark"`` for a full :class:`~repro.eval.common.BenchmarkRun`,
   ``"patterns"`` for a Table II reload-pattern profile);
 * :class:`EvalEngine` computes a batch of specs, deduplicated, fanned
-  out across a ``ProcessPoolExecutor`` (``jobs`` workers, default
+  out across supervised worker processes (``jobs`` workers, default
   ``os.cpu_count()``), memoized in-process for the engine's lifetime,
   and — unless caching is disabled — persisted as JSON under
   ``results/.cellcache/`` keyed by a content hash of the spec plus the
   package version, so warm re-runs are near-instant;
 * the drivers slice the shared records into the paper's rows/series.
 
-Cache entries are self-describing: schema number, package version, the
-full spec payload, the encoded result, and timing.  Any mismatch (or a
-corrupt file) is treated as a miss and recomputed — never an error.
+The engine is fault-tolerant end to end (``docs/robustness.md``):
+
+* a worker that **crashes** or raises fails only its own cell; the cell
+  is re-dispatched up to ``max_retries`` times with exponential backoff
+  and a fresh worker process replaces the dead one;
+* a worker that **hangs** past ``cell_timeout`` seconds is killed and
+  its cell retried the same way;
+* cache writes are **crash-safe** (write-to-temp + atomic rename) and
+  **self-verifying** (a content hash over the encoded result is checked
+  on read; corrupt entries are quarantined under
+  ``<cache_dir>/quarantine/`` and recomputed, never a hard failure);
+* sweeps are **resumable**: every cell outcome is appended to a
+  ``journal.jsonl`` under the cache directory (one flushed JSON line per
+  cell, so an interrupt leaves a consistent journal) and
+  ``resume=True`` skips cells the journal marks complete;
+* every degradation is counted (``engine.cells_retried``,
+  ``engine.cells_timed_out``, ``engine.cells_crashed``,
+  ``engine.cache_quarantined``, ``engine.journal_hits``, …) through the
+  engine's :class:`~repro.telemetry.registry.MetricsRegistry`;
+* the failure paths are testable: a :class:`~repro.eval.faults.FaultPlan`
+  (or the ``REPRO_FAULT_SPEC`` environment variable) deterministically
+  injects crash / hang / transient / corrupt-cache faults.
+
+A fault-free run produces byte-identical artifacts to a faulted one:
+faults only ever change *when* a cell is computed, never what it
+contains.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
 from dataclasses import asdict, dataclass, fields
+from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Deque, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 from .. import __version__
 from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
@@ -43,20 +69,52 @@ from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
 from ..telemetry.registry import METRICS_SCHEMA, MetricsRegistry
 from .common import BenchmarkRun, run_benchmark
+from .faults import FaultPlan
 
 #: Bumped whenever the cache record layout (not the simulated behaviour)
 #: changes; old records are silently recomputed.  3: BenchmarkRun grew
-#: the ``metrics`` telemetry snapshot.
-CACHE_SCHEMA = 3
+#: the ``metrics`` telemetry snapshot.  4: records carry a ``sha256``
+#: content hash over the encoded result (verified on read).
+CACHE_SCHEMA = 4
 
 #: Default location of the on-disk cell cache.
 DEFAULT_CACHE_DIR = "results/.cellcache"
+
+#: Default retry budget for a crashed/hung/raising cell.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default base delay (seconds) before re-dispatching a failed cell;
+#: doubled on every further attempt of the same cell.
+DEFAULT_RETRY_BACKOFF = 1.0
+
+#: How long an injected ``hang`` fault sleeps; pair it with a
+#: ``cell_timeout`` well below this or the sweep will genuinely wait.
+HANG_SECONDS = 600.0
+
+#: Exit status an injected ``crash`` fault dies with (visible in the
+#: supervisor's diagnostic line).
+CRASH_EXIT_STATUS = 23
 
 _VARIANT_BY_LABEL = {variant.value: variant for variant in Variant}
 
 
 def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+class CellFailure(RuntimeError):
+    """One or more cells exhausted their retry budget.
+
+    Completed cells stay journaled and cached, so fixing the cause and
+    re-running with ``resume=True`` recomputes only the failures.
+    """
+
+    def __init__(self, failures: Sequence[Tuple["CellSpec", str]]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(f"{spec.label}: {reason}"
+                           for spec, reason in self.failures)
+        super().__init__(
+            f"{len(self.failures)} cell(s) failed permanently ({detail})")
 
 
 @dataclass(frozen=True)
@@ -177,6 +235,13 @@ def decode_result(spec: CellSpec, encoded: Dict[str, object]):
                           histogram=Counter(per_pc.values()))
 
 
+def result_digest(encoded: Dict[str, object]) -> str:
+    """Content hash of an encoded result — stored in every cache record
+    and re-verified on read, so silent on-disk corruption is caught."""
+    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def _cell_worker(payload: Dict[str, object]) -> Tuple[Dict[str, object], int,
                                                       float]:
     """Top-level (picklable) pool entry point: compute one cell and
@@ -187,6 +252,95 @@ def _cell_worker(payload: Dict[str, object]) -> Tuple[Dict[str, object], int,
     seconds = time.perf_counter() - started
     instructions = getattr(result, "instructions", 0)
     return encode_result(spec, result), instructions, seconds
+
+
+def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
+                      conn) -> None:
+    """Worker-process entry point under supervision.
+
+    Sends ``("ok", outcome)`` or ``("error", message)`` back over the
+    pipe; a crash (injected or real) sends nothing, which the supervisor
+    detects as EOF on the connection.
+    """
+    try:
+        if fault == "crash":
+            os._exit(CRASH_EXIT_STATUS)
+        if fault == "hang":
+            time.sleep(HANG_SECONDS)
+            raise RuntimeError("injected hang outlived the supervisor")
+        if fault == "transient":
+            raise RuntimeError("injected transient fault")
+        conn.send(("ok", _cell_worker(payload)))
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+# -- the sweep journal --------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL record of per-cell outcomes.
+
+    One flushed line per event, so a sweep killed at any instant leaves
+    at most one truncated trailing line — which the reader skips.  A
+    fresh (non-resume) sweep truncates the journal; ``resume`` reads the
+    completed keys first and appends.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory) / self.FILENAME
+
+    def done_keys(self) -> Set[str]:
+        """Cache keys of every cell the journal marks complete."""
+        keys: Set[str] = set()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return keys
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # partial trailing line from an interrupt
+            if record.get("event") == "done" and record.get("key"):
+                keys.add(record["key"])
+        return keys
+
+    def start(self, resume: bool) -> Set[str]:
+        """Begin a sweep: truncate (fresh) or load completed keys."""
+        if resume:
+            return self.done_keys()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+        except OSError:
+            pass
+        return set()
+
+    def record(self, event: str, spec: CellSpec, **extra: object) -> None:
+        entry: Dict[str, object] = {
+            "event": event,
+            "key": spec.cache_key(),
+            "label": spec.label,
+        }
+        entry.update({k: v for k, v in extra.items() if v not in ("", None)})
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.flush()
+        except OSError:
+            pass  # a read-only cache directory degrades to journal-less
 
 
 # -- the engine ---------------------------------------------------------------
@@ -200,6 +354,13 @@ class EngineStats:
     cached: int = 0
     wall_seconds: float = 0.0
     simulated_instructions: int = 0
+    retried: int = 0
+    crashed: int = 0
+    timed_out: int = 0
+    transient_errors: int = 0
+    quarantined: int = 0
+    journal_hits: int = 0
+    failed: int = 0
 
     @property
     def instructions_per_second(self) -> float:
@@ -215,36 +376,108 @@ class EngineStats:
 
     def summary(self) -> str:
         rate = self.instructions_per_second
-        return (f"engine: {self.computed} cell(s) simulated, "
+        base = (f"engine: {self.computed} cell(s) simulated, "
                 f"{self.cached} cached, {self.wall_seconds:.1f}s wall, "
                 f"{rate / 1e3:.0f}k simulated instr/s")
+        extras = []
+        if self.retried:
+            extras.append(f"{self.retried} retried")
+        if self.crashed:
+            extras.append(f"{self.crashed} crashed")
+        if self.timed_out:
+            extras.append(f"{self.timed_out} timed out")
+        if self.transient_errors:
+            extras.append(f"{self.transient_errors} transient error(s)")
+        if self.quarantined:
+            extras.append(f"{self.quarantined} cache entr(ies) quarantined")
+        if self.journal_hits:
+            extras.append(f"{self.journal_hits} journal hit(s)")
+        if self.failed:
+            extras.append(f"{self.failed} failed permanently")
+        return base + (", " + ", ".join(extras) if extras else "")
+
+
+@dataclass
+class _Task:
+    """One in-flight supervised worker."""
+
+    spec: CellSpec
+    attempt: int                      # 0-based
+    process: multiprocessing.Process
+    conn: object                      # parent end of the result pipe
+    deadline: Optional[float]         # monotonic, None = no timeout
 
 
 class EvalEngine:
     """Computes cells at most once: in-memory memo, on-disk cache,
-    process-pool fan-out for the misses.
+    supervised process fan-out for the misses.
 
-    ``jobs=1`` computes inline (deterministic, no subprocess overhead);
+    ``jobs=1`` computes inline (deterministic, no subprocess overhead)
+    unless a ``cell_timeout`` or ``fault_plan`` demands supervision;
     ``use_cache=False`` skips the on-disk layer but keeps the in-memory
     memo, so a batch still simulates each unique cell once.
+
+    Fault tolerance: ``cell_timeout`` kills and retries a hung worker;
+    crashed or raising workers are retried up to ``max_retries`` times
+    with exponential backoff starting at ``retry_backoff`` seconds; a
+    cell that exhausts its budget raises :class:`CellFailure` *after*
+    the rest of the batch has been given its chance (so a later
+    ``resume=True`` run recomputes only the failures).
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache_dir: str = DEFAULT_CACHE_DIR,
                  use_cache: bool = True,
-                 echo: Optional[Callable[[str], None]] = None) -> None:
+                 echo: Optional[Callable[[str], None]] = None,
+                 cell_timeout: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 resume: bool = False,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache_dir = Path(cache_dir)
         self.use_cache = use_cache
         self.echo = echo if echo is not None else (lambda message: None)
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be > 0, got {cell_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}")
+        if resume and not use_cache:
+            raise ValueError("resume requires the on-disk cell cache")
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.resume = resume
+        self.fault_plan = fault_plan if fault_plan is not None \
+            else FaultPlan.from_env()
         self.stats = EngineStats()
         self._memo: Dict[CellSpec, object] = {}
+        self.journal = SweepJournal(self.cache_dir) if use_cache else None
+        self._journal_started = False
+        self._journal_done: Set[str] = set()
+        self._artifact = ""
+        self._done = 0
+        self._total = 0
         # Engine-side accounting uses push instruments (no stats object
         # drives these increments) plus a latency histogram per cell.
         self.telemetry = MetricsRegistry()
         self._computed_counter = self.telemetry.counter(
             "engine.cells_computed")
         self._cached_counter = self.telemetry.counter("engine.cells_cached")
+        self._retried_counter = self.telemetry.counter("engine.cells_retried")
+        self._crashed_counter = self.telemetry.counter("engine.cells_crashed")
+        self._timeout_counter = self.telemetry.counter(
+            "engine.cells_timed_out")
+        self._transient_counter = self.telemetry.counter(
+            "engine.transient_errors")
+        self._quarantined_counter = self.telemetry.counter(
+            "engine.cache_quarantined")
+        self._journal_hits_counter = self.telemetry.counter(
+            "engine.journal_hits")
+        self._failed_counter = self.telemetry.counter("engine.cells_failed")
         self._cell_seconds = self.telemetry.histogram(
             "engine.cell_seconds",
             (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0))
@@ -316,13 +549,23 @@ class EvalEngine:
         target.write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n")
 
-    def run_cells(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, object]:
+    def run_cells(self, specs: Sequence[CellSpec],
+                  artifact: str = "") -> Dict[CellSpec, object]:
         """Resolve every spec, computing each unique cell at most once.
 
         Returns a dict covering every requested spec (duplicates share
         one record).  Emits one progress line per resolved cell and a
-        timing summary for the batch.
+        timing summary for the batch.  ``artifact`` labels the journal
+        entries with the figure/table that asked for the cells.
+
+        Raises :class:`CellFailure` if any cell exhausts its retry
+        budget — after every other cell in the batch has been resolved,
+        so completed work survives in the cache and journal.
         """
+        if self.journal is not None and not self._journal_started:
+            self._journal_done = self.journal.start(self.resume)
+            self._journal_started = True
+        self._artifact = artifact
         unique: List[CellSpec] = []
         seen = set()
         for spec in specs:
@@ -330,9 +573,9 @@ class EvalEngine:
                 seen.add(spec)
                 unique.append(spec)
         misses = [spec for spec in unique if spec not in self._memo]
-        total = len(misses)
+        self._total = len(misses)
         started = time.perf_counter()
-        done = 0
+        self._done = 0
 
         still_missing: List[CellSpec] = []
         for spec in misses:
@@ -341,57 +584,243 @@ class EvalEngine:
                 self._memo[spec] = cached
                 self.stats.cached += 1
                 self._cached_counter.inc()
-                done += 1
-                self.echo(f"[cell {done}/{total}] {spec.label} cached")
+                if self.resume and spec.cache_key() in self._journal_done:
+                    self.stats.journal_hits += 1
+                    self._journal_hits_counter.inc()
+                if self.journal is not None:
+                    self.journal.record("done", spec, artifact=artifact,
+                                        source="cached")
+                self._done += 1
+                self.echo(f"[cell {self._done}/{self._total}] "
+                          f"{spec.label} cached")
             else:
                 still_missing.append(spec)
 
+        failures: List[Tuple[CellSpec, str]] = []
         if still_missing:
-            if self.jobs == 1 or len(still_missing) == 1:
-                for spec in still_missing:
-                    encoded, instructions, seconds = _cell_worker(
-                        spec.payload())
-                    done += 1
-                    self._finish_cell(spec, encoded, instructions, seconds,
-                                      done, total)
+            supervised = self.jobs > 1 or self.cell_timeout is not None \
+                or bool(self.fault_plan)
+            if supervised:
+                failures = self._run_supervised(still_missing)
             else:
-                self._run_pool(still_missing, done, total)
+                failures = self._run_inline(still_missing)
 
         if misses:
             self.stats.wall_seconds += time.perf_counter() - started
             self.echo(self.stats.summary())
+        if failures:
+            raise CellFailure(failures)
         return {spec: self._memo[spec] for spec in unique}
 
     # -- internals -----------------------------------------------------------
 
-    def _run_pool(self, specs: List[CellSpec], done: int, total: int) -> None:
+    def _run_inline(self, specs: List[CellSpec]
+                    ) -> List[Tuple[CellSpec, str]]:
+        """Serial, same-process path: no hang supervision (a timeout
+        cannot interrupt inline work), but transient exceptions still
+        get the retry/backoff treatment."""
+        failures: List[Tuple[CellSpec, str]] = []
+        for spec in specs:
+            attempt = 0
+            while True:
+                try:
+                    encoded, instructions, seconds = _cell_worker(
+                        spec.payload())
+                except Exception as error:  # noqa: BLE001 — retried
+                    reason = f"{type(error).__name__}: {error}"
+                    self.stats.transient_errors += 1
+                    self._transient_counter.inc()
+                    if not self._schedule_retry(spec, attempt, reason):
+                        failures.append((spec, reason))
+                        break
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                self._finish_cell(spec, encoded, instructions, seconds,
+                                  attempts=attempt + 1)
+                break
+        return failures
+
+    def _run_supervised(self, specs: List[CellSpec]
+                        ) -> List[Tuple[CellSpec, str]]:
+        """Fan cells out across supervised worker processes.
+
+        Each cell runs in its own process (so a crash or kill loses only
+        that cell and the "pool" replenishes by construction); the
+        supervisor multiplexes result pipes, enforces per-cell
+        deadlines, and re-dispatches failures with backoff.
+        """
+        ctx = multiprocessing.get_context()
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_cell_worker, spec.payload()): spec
-                       for spec in specs}
-            pending = set(futures)
-            while pending:
-                finished, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec = futures[future]
-                    encoded, instructions, seconds = future.result()
-                    done += 1
-                    self._finish_cell(spec, encoded, instructions, seconds,
-                                      done, total)
+        # (spec, attempt, not_before): retries carry a monotonic time
+        # before which they must not be re-dispatched (the backoff).
+        queue: Deque[Tuple[CellSpec, int, float]] = deque(
+            (spec, 0, 0.0) for spec in specs)
+        running: Dict[object, _Task] = {}
+        failures: List[Tuple[CellSpec, str]] = []
+        try:
+            while queue or running:
+                now = time.monotonic()
+                deferred: List[Tuple[CellSpec, int, float]] = []
+                while queue and len(running) < workers:
+                    spec, attempt, not_before = queue.popleft()
+                    if not_before > now:
+                        deferred.append((spec, attempt, not_before))
+                        continue
+                    task = self._dispatch(ctx, spec, attempt)
+                    running[task.conn] = task
+                queue.extend(deferred)
+                if not running:
+                    # Everything runnable is backing off; sleep until the
+                    # earliest retry becomes due.
+                    wake = min(item[2] for item in queue)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+                timeout = self._next_wake(running, queue)
+                ready = mp_connection.wait(list(running), timeout)
+                for conn in ready:
+                    task = running.pop(conn)
+                    self._reap(task, queue, failures)
+                now = time.monotonic()
+                for conn, task in list(running.items()):
+                    if task.deadline is not None and now >= task.deadline:
+                        del running[conn]
+                        self._kill(task)
+                        reason = (f"timed out after "
+                                  f"{self.cell_timeout:.1f}s")
+                        self.stats.timed_out += 1
+                        self._timeout_counter.inc()
+                        self._retry_or_fail(task, reason, queue, failures)
+        except BaseException:
+            # Ctrl-C or an internal error: kill the workers; the journal
+            # holds one complete line per finished cell, so a later
+            # resume run picks up exactly where this one stopped.
+            for task in running.values():
+                self._kill(task)
+            raise
+        return failures
+
+    def _dispatch(self, ctx, spec: CellSpec, attempt: int) -> _Task:
+        fault = self.fault_plan.worker_fault(spec.label) \
+            if self.fault_plan else None
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_supervised_entry,
+                              args=(spec.payload(), fault, child_conn),
+                              daemon=True)
+        process.start()
+        child_conn.close()
+        deadline = None if self.cell_timeout is None \
+            else time.monotonic() + self.cell_timeout
+        return _Task(spec=spec, attempt=attempt, process=process,
+                     conn=parent_conn, deadline=deadline)
+
+    def _next_wake(self, running: Dict[object, _Task],
+                   queue: Deque[Tuple[CellSpec, int, float]]
+                   ) -> Optional[float]:
+        """Longest safe sleep: until the nearest deadline or pending
+        retry, or indefinitely when neither exists."""
+        now = time.monotonic()
+        marks = [task.deadline for task in running.values()
+                 if task.deadline is not None]
+        marks.extend(item[2] for item in queue if item[2] > now)
+        if not marks:
+            return None
+        return max(0.0, min(marks) - now)
+
+    def _reap(self, task: _Task,
+              queue: Deque[Tuple[CellSpec, int, float]],
+              failures: List[Tuple[CellSpec, str]]) -> None:
+        """A worker's pipe became readable: collect its result, or
+        diagnose the crash if it died without reporting."""
+        try:
+            status, value = task.conn.recv()
+        except (EOFError, OSError):
+            status, value = "crashed", None
+        finally:
+            task.conn.close()
+        task.process.join()
+        if status == "ok":
+            encoded, instructions, seconds = value
+            self._finish_cell(task.spec, encoded, instructions, seconds,
+                              attempts=task.attempt + 1)
+            return
+        if status == "crashed":
+            reason = (f"worker crashed "
+                      f"(exit status {task.process.exitcode})")
+            self.stats.crashed += 1
+            self._crashed_counter.inc()
+        else:
+            reason = f"worker error: {value}"
+            self.stats.transient_errors += 1
+            self._transient_counter.inc()
+        self._retry_or_fail(task, reason, queue, failures)
+
+    def _retry_or_fail(self, task: _Task, reason: str,
+                       queue: Deque[Tuple[CellSpec, int, float]],
+                       failures: List[Tuple[CellSpec, str]]) -> None:
+        if self._schedule_retry(task.spec, task.attempt, reason):
+            queue.append((task.spec, task.attempt + 1,
+                          time.monotonic() + self._backoff(task.attempt)))
+        else:
+            failures.append((task.spec, reason))
+
+    def _schedule_retry(self, spec: CellSpec, attempt: int,
+                        reason: str) -> bool:
+        """Account for a failed attempt; True if the cell may retry.
+
+        (The supervised path queues the retry itself; the inline path
+        just loops.)  On exhaustion the cell is journaled as failed.
+        """
+        if attempt < self.max_retries:
+            self.stats.retried += 1
+            self._retried_counter.inc()
+            self.echo(f"[cell] {spec.label} {reason}; "
+                      f"retry {attempt + 1}/{self.max_retries} "
+                      f"in {self._backoff(attempt):.1f}s")
+            return True
+        self.stats.failed += 1
+        self._failed_counter.inc()
+        if self.journal is not None:
+            self.journal.record("failed", spec, artifact=self._artifact,
+                                attempts=attempt + 1, error=reason)
+        self.echo(f"[cell] {spec.label} {reason}; retries exhausted "
+                  f"({self.max_retries})")
+        return False
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential: ``retry_backoff * 2**attempt`` seconds."""
+        return self.retry_backoff * (2 ** attempt)
+
+    def _kill(self, task: _Task) -> None:
+        try:
+            task.conn.close()
+        except OSError:
+            pass
+        task.process.terminate()
+        task.process.join(timeout=5.0)
+        if task.process.is_alive():
+            task.process.kill()
+            task.process.join()
 
     def _finish_cell(self, spec: CellSpec, encoded: Dict[str, object],
                      instructions: int, seconds: float,
-                     done: int, total: int) -> None:
+                     attempts: int = 1) -> None:
         result = decode_result(spec, encoded)
         self._memo[spec] = result
         self.stats.computed += 1
         self._computed_counter.inc()
         self._cell_seconds.observe(seconds)
         self.stats.simulated_instructions += instructions
-        self.echo(f"[cell {done}/{total}] {spec.label} "
+        self._done += 1
+        self.echo(f"[cell {self._done}/{self._total}] {spec.label} "
                   f"{seconds:.2f}s ({instructions:,} instr)")
         self._cache_store(spec, encoded, instructions, seconds)
+        if self.journal is not None:
+            self.journal.record("done", spec, artifact=self._artifact,
+                                attempts=attempts,
+                                seconds=round(seconds, 4))
+
+    # -- the on-disk cache ----------------------------------------------------
 
     def _cache_path(self, spec: CellSpec) -> Path:
         return self.cache_dir / spec.cache_filename()
@@ -401,13 +830,38 @@ class EvalEngine:
             return None
         path = self._cache_path(spec)
         try:
-            record = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            return None  # no entry: a plain miss
+        try:
+            record = json.loads(text)
             if record.get("schema") != CACHE_SCHEMA \
                     or record.get("version") != __version__:
-                return None
+                return None  # stale but well-formed: silently recompute
+            if record.get("sha256") != result_digest(record["result"]):
+                raise ValueError("content hash mismatch")
             return decode_result(spec, record["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as error:
+            self._quarantine(spec, path, error)
             return None
+
+    def _quarantine(self, spec: CellSpec, path: Path,
+                    error: Exception) -> None:
+        """Move a corrupt cache entry aside (never delete: the bytes may
+        matter for diagnosing how they rotted) and count the event."""
+        self.stats.quarantined += 1
+        self._quarantined_counter.inc()
+        reason = f"{type(error).__name__}: {error}" if str(error) \
+            else type(error).__name__
+        try:
+            quarantine_dir = self.cache_dir / "quarantine"
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(quarantine_dir / path.name)
+            self.echo(f"[cache] quarantined corrupt entry for "
+                      f"{spec.label} ({reason})")
+        except OSError:
+            self.echo(f"[cache] corrupt entry for {spec.label} ({reason}); "
+                      f"quarantine failed, treating as a miss")
 
     def _cache_store(self, spec: CellSpec, encoded: Dict[str, object],
                      instructions: int, seconds: float) -> None:
@@ -417,6 +871,7 @@ class EvalEngine:
             "schema": CACHE_SCHEMA,
             "version": __version__,
             "spec": spec.payload(),
+            "sha256": result_digest(encoded),
             "result": encoded,
             "instructions": instructions,
             "seconds": round(seconds, 4),
@@ -424,8 +879,20 @@ class EvalEngine:
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             path = self._cache_path(spec)
-            tmp = path.with_suffix(".tmp")
+            # Unique temp name (pid-suffixed) + atomic rename: concurrent
+            # engines never interleave writes, and a crash mid-write
+            # leaves only a stray .tmp, never a half-written entry.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
             tmp.replace(path)
         except OSError:
-            pass  # a read-only cache directory degrades to cache-less
+            return  # a read-only cache directory degrades to cache-less
+        if self.fault_plan is not None \
+                and self.fault_plan.cache_fault(spec.label):
+            # Injected corruption: truncate the entry mid-record so the
+            # next read exercises the quarantine path.
+            try:
+                text = path.read_text()
+                path.write_text(text[:max(1, len(text) // 2)])
+            except OSError:
+                pass

@@ -1,0 +1,147 @@
+"""Deterministic fault injection for the evaluation engine.
+
+Large sweeps are only trustworthy if the failure paths — a worker that
+crashes, a worker that hangs, a cache entry that rots on disk, a
+transient exception — are themselves exercised in CI.  A
+:class:`FaultPlan` describes exactly which cells fail, how, and how many
+times, so a test (or an operator probing a deployment) can stage a
+failure and assert the engine degrades the way ``docs/robustness.md``
+promises.
+
+Plans parse from a compact spec string (also read from the
+``REPRO_FAULT_SPEC`` environment variable)::
+
+    crash:lbm/insecure        # first attempt of that cell dies (SIGKILL-like)
+    hang:mcf/*@2              # first two attempts of any mcf cell hang
+    transient:*               # every cell's first attempt raises once
+    corrupt-cache:lbm/*       # the stored cache entry is truncated on disk
+
+Clauses are comma-separated; ``<kind>[:<target>][@<count>]`` where
+``target`` is an ``fnmatch`` pattern over the cell label
+(``workload/defense``, default ``*``) and ``count`` is how many matching
+events fire the fault (default 1, so a retried cell succeeds).
+
+All decisions are taken in the supervising parent process: the plan is
+consulted once per dispatch (or cache store), which makes runs
+deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Recognised fault kinds.  ``crash``/``hang``/``transient`` are injected
+#: into the worker process for one attempt; ``corrupt-cache`` garbles the
+#: just-written on-disk cache entry (exercising quarantine on read).
+FAULT_KINDS = ("crash", "hang", "transient", "corrupt-cache")
+
+#: Fault kinds injected into worker attempts (vs the cache layer).
+WORKER_FAULTS = ("crash", "hang", "transient")
+
+#: Environment variable the engine reads when no explicit plan is given.
+ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One clause of a fault plan."""
+
+    kind: str
+    target: str = "*"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(choose from {', '.join(FAULT_KINDS)})")
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+
+    def matches(self, label: str) -> bool:
+        return fnmatchcase(label, self.target)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultRule` with per-label firing state.
+
+    ``worker_fault(label)`` / ``cache_fault(label)`` are each consulted
+    exactly once per event (dispatch attempt / cache store); a rule fires
+    for its first ``count`` matching events per label, then goes quiet —
+    so a fault with the default count fails an attempt and lets the
+    retry succeed.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule]) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self._fired: Dict[Tuple[int, str], int] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r})"
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``kind[:target][@count]`` clauses, comma-separated."""
+        rules = []
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            count = 1
+            if "@" in clause:
+                clause, _, raw_count = clause.rpartition("@")
+                try:
+                    count = int(raw_count)
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault count {raw_count!r} in {spec!r}") from None
+            kind, sep, target = clause.partition(":")
+            rules.append(FaultRule(kind=kind.strip(),
+                                   target=target.strip() if sep else "*",
+                                   count=count))
+        return cls(rules)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None
+                 ) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULT_SPEC``, or ``None`` if unset."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(ENV_FAULT_SPEC, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def spec(self) -> str:
+        """Round-trippable spec string (``parse(plan.spec())`` ≡ plan)."""
+        return ",".join(
+            f"{rule.kind}:{rule.target}"
+            + (f"@{rule.count}" if rule.count != 1 else "")
+            for rule in self.rules)
+
+    # -- decisions -----------------------------------------------------------
+
+    def worker_fault(self, label: str) -> Optional[str]:
+        """Fault to inject into the next worker attempt for ``label``
+        (``crash`` | ``hang`` | ``transient``), or ``None``."""
+        return self._draw(label, WORKER_FAULTS)
+
+    def cache_fault(self, label: str) -> bool:
+        """Whether to corrupt the cache entry just stored for ``label``."""
+        return self._draw(label, ("corrupt-cache",)) is not None
+
+    def _draw(self, label: str, kinds: Sequence[str]) -> Optional[str]:
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in kinds or not rule.matches(label):
+                continue
+            fired = self._fired.get((index, label), 0)
+            if fired >= rule.count:
+                continue
+            self._fired[(index, label)] = fired + 1
+            return rule.kind
+        return None

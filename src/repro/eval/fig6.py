@@ -148,7 +148,8 @@ def run(scale: int = 1,
     """Execute the full Figure 6 grid (via a shared engine, if given)."""
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config, defenses,
-                                        max_instructions))
+                                        max_instructions),
+                             artifact="fig6")
     runs: Dict[str, Dict[str, BenchmarkRun]] = {}
     for name in benchmarks:
         runs[name] = {

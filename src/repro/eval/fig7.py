@@ -101,7 +101,8 @@ def run(scale: int = 1,
         engine: Optional[EvalEngine] = None) -> Figure7Result:
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config,
-                                        max_instructions))
+                                        max_instructions),
+                             artifact="fig7")
     capcache: Dict[str, Dict[int, float]] = {}
     aliascache: Dict[str, Dict[int, float]] = {}
     for name in benchmarks:

@@ -97,7 +97,8 @@ def run(scale: int = 1,
         engine: Optional[EvalEngine] = None) -> Figure8Result:
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config,
-                                        max_instructions))
+                                        max_instructions),
+                             artifact="fig8")
     mispredict: Dict[str, Dict[int, float]] = {}
     squash_baseline: Dict[str, float] = {}
     squash_chex86: Dict[str, float] = {}

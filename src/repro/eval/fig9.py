@@ -119,7 +119,8 @@ def run(scale: int = 1,
         engine: Optional[EvalEngine] = None) -> Figure9Result:
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config,
-                                        max_instructions))
+                                        max_instructions),
+                             artifact="fig9")
     rss: Dict[str, Dict[str, int]] = {}
     bandwidth: Dict[str, Dict[str, float]] = {}
     for name in benchmarks:

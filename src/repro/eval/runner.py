@@ -22,7 +22,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from . import fig1, fig3, fig6, fig7, fig8, fig9, security
 from . import table1, table2, table3, table4
-from .engine import DEFAULT_CACHE_DIR, CellSpec, EvalEngine
+from .engine import (DEFAULT_CACHE_DIR, DEFAULT_MAX_RETRIES,
+                     DEFAULT_RETRY_BACKOFF, CellSpec, EvalEngine)
+from .faults import FaultPlan
 
 
 @dataclass
@@ -139,20 +141,32 @@ def reproduce(out_dir: str = "results", scale: int = 1,
               use_cache: bool = True,
               cache_dir: str = DEFAULT_CACHE_DIR,
               engine: Optional[EvalEngine] = None,
-              profile: bool = False) -> List[ArtifactRecord]:
+              profile: bool = False,
+              cell_timeout: Optional[float] = None,
+              max_retries: int = DEFAULT_MAX_RETRIES,
+              retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+              resume: bool = False,
+              fault_plan: Optional[FaultPlan] = None
+              ) -> List[ArtifactRecord]:
     """Run everything; returns per-artifact records (also saved to disk).
 
-    ``jobs``/``use_cache``/``cache_dir`` configure the shared evaluation
-    engine (pass a pre-built ``engine`` to override it entirely).
-    ``profile`` additionally writes a cProfile dump (``profile.prof``)
-    and a ``"profile"`` section in ``summary.json`` with the aggregated
-    per-phase counters of every simulated cell.
+    ``jobs``/``use_cache``/``cache_dir`` plus the fault-tolerance knobs
+    (``cell_timeout``/``max_retries``/``retry_backoff``/``resume``/
+    ``fault_plan``; see ``docs/robustness.md``) configure the shared
+    evaluation engine (pass a pre-built ``engine`` to override it
+    entirely).  ``profile`` additionally writes a cProfile dump
+    (``profile.prof``) and a ``"profile"`` section in ``summary.json``
+    with the aggregated per-phase counters of every simulated cell.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     if engine is None:
         engine = EvalEngine(jobs=jobs, cache_dir=cache_dir,
-                            use_cache=use_cache, echo=echo)
+                            use_cache=use_cache, echo=echo,
+                            cell_timeout=cell_timeout,
+                            max_retries=max_retries,
+                            retry_backoff=retry_backoff,
+                            resume=resume, fault_plan=fault_plan)
     profiler = None
     if profile:
         import cProfile
@@ -163,7 +177,7 @@ def reproduce(out_dir: str = "results", scale: int = 1,
     unique = len(set(specs))
     echo(f"prewarming {unique} unique simulation cells "
          f"({len(specs)} requested) with {engine.jobs} worker(s)")
-    engine.run_cells(specs)
+    engine.run_cells(specs, artifact="reproduce")
     records: List[ArtifactRecord] = []
     for name, runner in _artifacts(scale, ripe_limit, engine):
         started = time.time()
@@ -190,6 +204,12 @@ def reproduce(out_dir: str = "results", scale: int = 1,
             "wall_seconds": round(engine.stats.wall_seconds, 1),
             "simulated_instructions": engine.stats.simulated_instructions,
             "simulated_mips": round(engine.stats.simulated_mips, 4),
+            "cells_retried": engine.stats.retried,
+            "cells_crashed": engine.stats.crashed,
+            "cells_timed_out": engine.stats.timed_out,
+            "transient_errors": engine.stats.transient_errors,
+            "cache_quarantined": engine.stats.quarantined,
+            "journal_hits": engine.stats.journal_hits,
         },
     }
     if profiler is not None:

@@ -88,7 +88,8 @@ def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
         engine: Optional[EvalEngine] = None) -> Table2Result:
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config,
-                                        max_instructions, min_events))
+                                        max_instructions, min_events),
+                             artifact="table2")
     profiles: Dict[str, PatternProfile] = {
         name: cells[_spec(name, scale, config, max_instructions, min_events)]
         for name in benchmarks

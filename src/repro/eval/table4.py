@@ -64,7 +64,8 @@ def run(scale: int = 1, benchmarks: Sequence[str] = SPEC_NAMES,
         engine: Optional[EvalEngine] = None) -> Table4Result:
     engine = engine if engine is not None else EvalEngine.serial()
     cells = engine.run_cells(cell_specs(scale, benchmarks, config,
-                                        max_instructions))
+                                        max_instructions),
+                             artifact="table4")
     slowdowns = []
     for name in benchmarks:
         baseline = cells[CellSpec(workload=name, defense="insecure",

@@ -225,6 +225,35 @@ class TestErrorHandling:
         self.assert_exits_2(["figure", "6", "--jobs", "0"], capsys,
                             expect="--jobs")
 
+    @pytest.mark.parametrize("argv", [
+        # Commands that never construct an engine must still reject bad
+        # engine flags instead of silently ignoring them.
+        ["figure", "1", "--jobs", "0"],
+        ["figure", "1", "--jobs", "-3"],
+        ["table", "3", "--jobs", "0"],
+        ["reproduce", "--jobs", "-1"],
+    ])
+    def test_jobs_validated_on_every_engine_command(self, argv, capsys):
+        self.assert_exits_2(argv, capsys, expect="--jobs")
+
+    def test_cell_timeout_must_be_positive(self, capsys):
+        self.assert_exits_2(["figure", "6", "--cell-timeout", "0"], capsys,
+                            expect="--cell-timeout")
+        self.assert_exits_2(["figure", "1", "--cell-timeout", "-2.5"],
+                            capsys, expect="--cell-timeout")
+
+    def test_max_retries_must_be_non_negative(self, capsys):
+        self.assert_exits_2(["figure", "6", "--max-retries", "-1"], capsys,
+                            expect="--max-retries")
+
+    def test_retry_backoff_must_be_non_negative(self, capsys):
+        self.assert_exits_2(["table", "4", "--retry-backoff", "-1"], capsys,
+                            expect="--retry-backoff")
+
+    def test_resume_conflicts_with_no_cache(self, capsys):
+        self.assert_exits_2(["figure", "6", "--resume", "--no-cache"],
+                            capsys, expect="--resume")
+
     def test_engine_flags_parse(self):
         parser = build_parser()
         args = parser.parse_args(["figure", "6", "--jobs", "2",
@@ -233,3 +262,19 @@ class TestErrorHandling:
         assert args.cache_dir == "/tmp/c"
         args = parser.parse_args(["reproduce", "--jobs", "4"])
         assert args.jobs == 4
+
+    def test_fault_tolerance_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["reproduce", "--cell-timeout", "120",
+                                  "--max-retries", "5",
+                                  "--retry-backoff", "0.5", "--resume"])
+        assert args.cell_timeout == 120.0
+        assert args.max_retries == 5
+        assert args.retry_backoff == 0.5
+        assert args.resume
+        # Defaults: no timeout, 2 retries, 1s backoff, fresh sweep.
+        args = parser.parse_args(["figure", "6"])
+        assert args.cell_timeout is None
+        assert args.max_retries == 2
+        assert args.retry_backoff == 1.0
+        assert not args.resume

@@ -1,0 +1,181 @@
+"""Differential fuzz sweep: decoded-block fast path vs forced slow path.
+
+The decoded-block fast path (compile a pc's front-end product once,
+replay it on every later visit) is a pure performance transform — it
+must never change what executes.  The oracle: run the same seeded random
+mini-x86 program twice, once with the block cache enabled (fast path)
+and once with ``block_cache_enabled = False`` (every dynamic instruction
+recompiles — the slow path), and require identical architectural state,
+violation sets, and stats snapshots.  The only permitted difference is
+``frontend.blocks_compiled`` (the compile *count* is what the fast path
+exists to reduce).
+
+The same generator doubles as a transparency oracle across all four
+protected variants: a well-behaved program must flag no violations and
+finish in exactly the insecure baseline's architectural state.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Chex86Machine, Variant
+from repro.heap import heap_library_asm
+from repro.isa import Reg, assemble
+
+#: Registers the generator uses for data (avoids rsp/rbp and ASan's r13-15).
+DATA_REGS = ("rax", "rbx", "rcx", "rdx", "rsi", "r8", "r9", "r10")
+PTR_REGS = ("r11", "r12")
+
+VARIANTS = (Variant.HW_ONLY, Variant.BINARY_TRANSLATION,
+            Variant.UCODE_ALWAYS_ON, Variant.UCODE_PREDICTION)
+
+BUDGET = 20_000
+N_PROGRAMS = 50
+
+
+def generate_program(seed: int) -> str:
+    """A seeded random program: arithmetic, in-bounds heap traffic,
+    counted loops, stack spills, pointer copies — the Table I mix."""
+    rng = random.Random(seed)
+    lines = ["main:"]
+    for reg in DATA_REGS:
+        lines.append(f"    mov {reg}, {rng.randrange(1 << 16)}")
+    size = rng.choice([32, 64, 128])
+    for reg in PTR_REGS:
+        lines.append(f"    mov rdi, {size}")
+        lines.append("    call malloc")
+        lines.append(f"    mov {reg}, rax")
+    for i in range(rng.randint(5, 30)):
+        choice = rng.randrange(7)
+        a = rng.choice(DATA_REGS)
+        b = rng.choice(DATA_REGS)
+        if choice == 0:
+            op = rng.choice(["add", "sub", "and", "or", "xor", "imul"])
+            lines.append(f"    {op} {a}, {b}")
+        elif choice == 1:
+            lines.append(f"    mov {a}, {rng.randrange(1 << 20)}")
+        elif choice == 2:  # in-bounds store
+            ptr = rng.choice(PTR_REGS)
+            offset = rng.randrange(size // 8) * 8
+            lines.append(f"    mov [{ptr} + {offset}], {a}")
+        elif choice == 3:  # in-bounds load
+            ptr = rng.choice(PTR_REGS)
+            offset = rng.randrange(size // 8) * 8
+            lines.append(f"    mov {a}, [{ptr} + {offset}]")
+        elif choice == 4:  # a short counted loop (exercises block replay)
+            count = rng.randint(2, 6)
+            body = rng.choice([r for r in DATA_REGS if r != a])
+            lines.append(f"    mov {a}, 0")
+            lines.append(f"loop{i}:")
+            lines.append(f"    add {body}, 3")
+            lines.append(f"    add {a}, 1")
+            lines.append(f"    cmp {a}, {count}")
+            lines.append(f"    jl loop{i}")
+        elif choice == 5:  # stack spill/reload
+            lines.append(f"    push {a}")
+            lines.append(f"    pop {b}")
+        else:  # pointer copy then in-bounds use (Table I traffic)
+            ptr = rng.choice(PTR_REGS)
+            lines.append(f"    mov rsi, {ptr}")
+            lines.append("    mov rdx, [rsi]")
+    lines.append(f"    mov rdi, {PTR_REGS[0]}")
+    lines.append("    call free")
+    lines.append(f"    mov {PTR_REGS[0]}, 0")
+    lines.append("    halt")
+    return "\n".join(lines) + "\n" + heap_library_asm()
+
+
+def architectural_state(machine: Chex86Machine):
+    regs = tuple(machine.regs[int(r)] for r in Reg if r is not Reg.RSP)
+    heap_words = tuple(machine.memory.peek_word(0x1000_0000 + i * 8)
+                       for i in range(64))
+    return regs, heap_words
+
+
+def run_machine(program, variant, *, slow: bool, trap: bool = False):
+    machine = Chex86Machine(program, variant=variant,
+                            halt_on_violation=trap)
+    if slow:
+        machine.block_cache_enabled = False
+    result = machine.run(max_instructions=BUDGET)
+    return machine, result
+
+
+def comparable_phase_counters(machine: Chex86Machine):
+    counters = machine.phase_counters()
+    # The compile count is the one number the fast path exists to change.
+    counters.pop("frontend.blocks_compiled")
+    return counters
+
+
+class TestFastVsSlowPath:
+    """Fast path vs forced slow path: bit-for-bit the same execution."""
+
+    @pytest.mark.parametrize("seed", range(N_PROGRAMS))
+    def test_well_behaved_program(self, seed):
+        program = assemble(generate_program(seed), name=f"fuzz{seed}")
+        variant = VARIANTS[seed % len(VARIANTS)]
+        fast, fast_result = run_machine(program, variant, slow=False)
+        slow, slow_result = run_machine(program, variant, slow=True)
+
+        assert fast_result.halted and slow_result.halted
+        assert fast_result.instructions == slow_result.instructions
+        assert fast_result.cycles == slow_result.cycles
+        assert fast_result.uops == slow_result.uops
+        assert architectural_state(fast) == architectural_state(slow), (
+            f"seed {seed} ({variant.value}): architectural state diverged")
+        # Violation sets: both empty for a well-behaved program, and
+        # compared structurally so a false positive on either path fails.
+        fast_violations = [str(v) for v in fast.violations.violations]
+        slow_violations = [str(v) for v in slow.violations.violations]
+        assert fast_violations == slow_violations == []
+        # Full stats snapshots: every registered metric agrees.
+        assert fast.metrics_snapshot() == slow.metrics_snapshot()
+        assert comparable_phase_counters(fast) == \
+            comparable_phase_counters(slow)
+        # The fast path compiled strictly less than it executed; the
+        # forced slow path compiled once per dynamic instruction.
+        assert fast._blocks_compiled <= fast.instructions
+        assert slow._blocks_compiled == slow.instructions
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_violating_program_flags_identically(self, seed):
+        """An appended OOB store must produce the *same* violation set
+        on both paths (trapping, so post-violation state is defined)."""
+        source = generate_program(seed).replace(
+            "    halt\n",
+            f"    mov [r12 + {(seed % 4 + 1) * 128}], rax\n    halt\n", 1)
+        program = assemble(source, name=f"fuzz-oob{seed}")
+        variant = VARIANTS[seed % len(VARIANTS)]
+        fast, fast_result = run_machine(program, variant, slow=False,
+                                        trap=True)
+        slow, slow_result = run_machine(program, variant, slow=True,
+                                        trap=True)
+        assert fast_result.flagged and slow_result.flagged
+        assert [str(v) for v in fast.violations.violations] \
+            == [str(v) for v in slow.violations.violations]
+        assert fast_result.instructions == slow_result.instructions
+        assert architectural_state(fast) == architectural_state(slow)
+
+
+class TestTransparencyOracle:
+    """All four protected variants agree with the insecure baseline on
+    well-behaved programs: same architectural state, zero violations."""
+
+    @pytest.mark.parametrize("seed", range(0, N_PROGRAMS, 5))
+    def test_variants_match_insecure_baseline(self, seed):
+        program = assemble(generate_program(seed), name=f"fuzz{seed}")
+        reference, reference_result = run_machine(program, Variant.INSECURE,
+                                                  slow=False)
+        assert reference_result.halted
+        expected = architectural_state(reference)
+        for variant in VARIANTS:
+            machine, result = run_machine(program, variant, slow=False,
+                                          trap=True)
+            assert result.halted, f"{variant.value}: did not finish"
+            assert not result.flagged, (
+                f"{variant.value}: false positive "
+                f"{machine.violations.violations}")
+            assert architectural_state(machine) == expected, (
+                f"{variant.value}: architectural state diverged")

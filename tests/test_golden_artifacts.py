@@ -1,0 +1,78 @@
+"""Golden-artifact regression: a committed cell fixture pins the
+simulated numbers.
+
+``tests/golden/fig6_cell_lbm_ucode-prediction.json`` holds the encoded
+result of one Figure 6 cell exactly as the engine caches it.  Any change
+to the simulator that shifts what that cell computes — cycle accounting,
+uop expansion, cache modelling, metric names — fails here first, with a
+field-level diff instead of a downstream "Figure 6 looks different".
+
+If the change is *intentional*, regenerate the fixture:
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from pathlib import Path
+    from repro.eval.engine import CellSpec, compute_cell, encode_result
+    spec = CellSpec(workload="lbm", defense="ucode-prediction",
+                    max_instructions=200_000)
+    path = Path("tests/golden/fig6_cell_lbm_ucode-prediction.json")
+    path.write_text(json.dumps(
+        {"spec": spec.payload(), "result": encode_result(
+            spec, compute_cell(spec))}, indent=2, sort_keys=True) + "\n")
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.engine import (
+    CellSpec,
+    compute_cell,
+    decode_result,
+    encode_result,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / \
+    "fig6_cell_lbm_ucode-prediction.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh(golden):
+    spec = CellSpec.from_payload(golden["spec"])
+    return spec, encode_result(spec, compute_cell(spec))
+
+
+def test_fixture_spec_round_trips(golden):
+    spec = CellSpec.from_payload(golden["spec"])
+    assert spec.payload() == golden["spec"]
+    assert spec.workload == "lbm"
+    assert spec.defense == "ucode-prediction"
+
+
+def test_cell_matches_golden_fixture(golden, fresh):
+    _, encoded = fresh
+    expected = golden["result"]["benchmark_run"]
+    actual = encoded["benchmark_run"]
+    assert set(actual) == set(expected), (
+        "BenchmarkRun field set changed — regenerate the fixture if "
+        "intentional (see module docstring)")
+    diverged = {field: (expected[field], actual[field])
+                for field in expected if actual[field] != expected[field]}
+    assert not diverged, (
+        f"simulated cell diverged from golden fixture "
+        f"(expected, actual): {diverged}")
+
+
+def test_golden_result_decodes(golden, fresh):
+    """The committed encoding is still decodable, and decoding it yields
+    exactly what a fresh simulation yields."""
+    spec, encoded = fresh
+    restored = decode_result(spec, golden["result"])
+    assert restored == decode_result(spec, encoded)
