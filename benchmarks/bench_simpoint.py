@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Checkpointed SimPoint sampling benchmark: accuracy and speedup.
+
+Runs one Figure-6 cell twice — end to end, and through the sampled
+``profile → select → checkpoint → replay`` path — and writes the
+comparison to ``BENCH_simpoint.json``.  Two numbers matter:
+
+* **accuracy**: worst relative error across the headline counters
+  (cycles, uops, injected uops, squash cycles, DRAM bytes) of the
+  SimPoint estimate against the exact full run.  CI fails when it
+  exceeds ``--max-error`` (default 10%).
+* **detailed-simulation speedup**: full-run seconds over replay
+  seconds.  Replay is the only part that scales with defense count —
+  one insecure-variant profile and one checkpoint pass amortise over
+  every defense column of a figure — so the report also records the
+  profile and checkpoint costs separately rather than folding them in.
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_simpoint.py --max-error 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.eval.engine import CellSpec, EvalEngine  # noqa: E402
+from repro.eval.sampling import (  # noqa: E402
+    DEFAULT_INTERVAL,
+    DEFAULT_MAX_K,
+    SamplingEngine,
+    SimPointPlan,
+)
+
+#: Headline counters the accuracy gate checks (the ones the figures
+#: are drawn from).
+HEADLINE = ("cycles", "uops", "injected_uops", "squash_cycles",
+            "dram_bytes")
+
+DEFAULT_OUT = "BENCH_simpoint.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="mcf",
+                        help="fig6 benchmark to sample (default mcf)")
+    parser.add_argument("--defense", default="ucode-prediction",
+                        help="defense column (default ucode-prediction)")
+    parser.add_argument("--scale", type=int, default=8,
+                        help="workload scale (default 8: long enough to "
+                             "span ~10 sampling intervals)")
+    parser.add_argument("--budget", type=int, default=2_000_000,
+                        help="instruction budget (default 2M, the fig6 "
+                             "cell size)")
+    parser.add_argument("--interval", type=int, default=20_000,
+                        help="sampling interval (default 20000, sized for "
+                             "the CI cell; bursty counters like squash "
+                             "cycles need intervals this coarse — "
+                             f"--simpoint runs default to "
+                             f"{DEFAULT_INTERVAL})")
+    parser.add_argument("--max-k", type=int, default=DEFAULT_MAX_K,
+                        help=f"simulation-point cap (default {DEFAULT_MAX_K})")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--max-error", type=float, default=0.10,
+                        help="fail when the worst headline relative error "
+                             "exceeds this fraction (default 0.10)")
+    args = parser.parse_args(argv)
+
+    spec = CellSpec(workload=args.workload, defense=args.defense,
+                    scale=args.scale, max_instructions=args.budget)
+
+    started = time.perf_counter()
+    full = EvalEngine(jobs=1, use_cache=False).get(spec)
+    full_seconds = time.perf_counter() - started
+    print(f"full run:   {full.instructions:>9,} instr  "
+          f"{full.cycles:>10,} cycles  {full_seconds:.2f}s")
+
+    # A throwaway cache dir keeps bench checkpoints and interval cells
+    # out of the committed results cache.
+    scratch = tempfile.mkdtemp(prefix="bench-simpoint-")
+    try:
+        engine = EvalEngine(jobs=2, cache_dir=scratch)
+        sampler = SamplingEngine(
+            engine,
+            plan=SimPointPlan(interval=args.interval, max_k=args.max_k),
+            echo=print)
+        started = time.perf_counter()
+        estimate = sampler.get(spec)
+        sampled_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if not sampler.estimates:
+        print(f"error: cell {args.workload}/{args.defense} was not "
+              f"eligible for sampling (too short for interval "
+              f"{args.interval}? multi-threaded?)", file=sys.stderr)
+        return 2
+    record = sampler.estimates[-1]
+    replay_seconds = max(
+        sampled_seconds - record.profile_seconds - record.checkpoint_seconds,
+        1e-9)
+    speedup = full_seconds / replay_seconds
+
+    errors = {}
+    for name in HEADLINE:
+        exact, approx = getattr(full, name), getattr(estimate, name)
+        errors[name] = abs(approx - exact) / exact if exact else 0.0
+        print(f"{name:>16}: full={exact:>12,} est={approx:>12,} "
+              f"err={errors[name]:.2%}")
+    worst = max(errors.values())
+    print(f"simpoint:   {record.points} point(s) / {record.intervals} "
+          f"intervals, coverage {record.coverage:.0%}")
+    print(f"wall: full={full_seconds:.2f}s  profile="
+          f"{record.profile_seconds:.2f}s  checkpoint="
+          f"{record.checkpoint_seconds:.2f}s  replay={replay_seconds:.2f}s")
+    print(f"detailed-simulation speedup: {speedup:.2f}x  "
+          f"(worst headline error {worst:.2%})")
+
+    report = {
+        "version": __version__,
+        "cell": {"workload": args.workload, "defense": args.defense,
+                 "scale": args.scale, "max_instructions": args.budget},
+        "plan": {"interval": args.interval, "max_k": args.max_k},
+        "full": {"seconds": round(full_seconds, 4),
+                 **{name: getattr(full, name) for name in HEADLINE}},
+        "simpoint": {
+            "points": record.points,
+            "intervals": record.intervals,
+            "coverage": record.coverage,
+            "profile_seconds": record.profile_seconds,
+            "checkpoint_seconds": record.checkpoint_seconds,
+            "replay_seconds": round(replay_seconds, 4),
+            "detailed_sim_speedup": round(speedup, 4),
+            "estimated": {name: getattr(estimate, name)
+                          for name in HEADLINE},
+            "relative_error": {name: round(err, 6)
+                               for name, err in errors.items()},
+            "worst_error": round(worst, 6),
+        },
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"-> {args.out}")
+
+    if worst > args.max_error:
+        print(f"FAIL: worst headline error {worst:.2%} exceeds "
+              f"--max-error {args.max_error:.0%}", file=sys.stderr)
+        return 1
+    print("OK: estimate within the accuracy budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

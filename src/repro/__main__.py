@@ -95,6 +95,18 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="resume an interrupted sweep: skip cells the "
                              "journal under the cache directory marks "
                              "complete")
+    parser.add_argument("--simpoint", action="store_true",
+                        help="sampled simulation: estimate eligible "
+                             "benchmark cells from checkpointed SimPoint "
+                             "intervals instead of full runs "
+                             "(docs/sampling.md)")
+    parser.add_argument("--interval", type=int, default=None, metavar="N",
+                        help="SimPoint profiling/replay interval in "
+                             "instructions (requires --simpoint; "
+                             "default: 50000)")
+    parser.add_argument("--max-k", type=int, default=None, metavar="K",
+                        help="maximum number of simulation points per "
+                             "workload (requires --simpoint; default: 8)")
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -156,16 +168,34 @@ def _validate_engine_args(args) -> None:
                        f"got {args.retry_backoff}")
     if args.resume and args.no_cache:
         raise CliError("--resume needs the cell cache (drop --no-cache)")
+    if args.interval is not None and not args.simpoint:
+        raise CliError("--interval requires --simpoint")
+    if args.max_k is not None and not args.simpoint:
+        raise CliError("--max-k requires --simpoint")
+    if args.interval is not None and args.interval <= 0:
+        raise CliError(f"--interval must be > 0, got {args.interval}")
+    if args.max_k is not None and args.max_k <= 0:
+        raise CliError(f"--max-k must be > 0, got {args.max_k}")
 
 
 def _engine_from(args, echo) -> EvalEngine:
     _validate_engine_args(args)
-    return EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir,
-                      use_cache=not args.no_cache, echo=echo,
-                      cell_timeout=args.cell_timeout,
-                      max_retries=args.max_retries,
-                      retry_backoff=args.retry_backoff,
-                      resume=args.resume)
+    engine = EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                        use_cache=not args.no_cache, echo=echo,
+                        cell_timeout=args.cell_timeout,
+                        max_retries=args.max_retries,
+                        retry_backoff=args.retry_backoff,
+                        resume=args.resume)
+    if not args.simpoint:
+        return engine
+    from .eval.sampling import (DEFAULT_INTERVAL, DEFAULT_MAX_K,
+                                SamplingEngine, SimPointPlan)
+
+    plan = SimPointPlan(
+        interval=args.interval if args.interval is not None
+        else DEFAULT_INTERVAL,
+        max_k=args.max_k if args.max_k is not None else DEFAULT_MAX_K)
+    return SamplingEngine(engine, plan=plan, echo=echo)
 
 
 def _read_program(path: str) -> str:

@@ -66,19 +66,17 @@ def profile_workload(workload: Workload,
         allocator = runner.system.allocator
         counts: List[int] = []
         for core in runner.cores:
+            core.flush_profiling_intervals()  # trailing partial interval
             counts.extend(core.interval_pid_counts)
-            if core._interval_pids:
-                counts.append(len(core._interval_pids))
     else:
         program = assemble(workload.source, name=workload.name)
         machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
                                 config=config, halt_on_violation=False,
                                 profile_interval=interval)
         machine.run(max_instructions=max_instructions)
+        machine.flush_profiling_intervals()  # trailing partial interval
         allocator = machine.allocator
         counts = list(machine.interval_pid_counts)
-        if machine._interval_pids:
-            counts.append(len(machine._interval_pids))
     avg_in_use = sum(counts) / len(counts) if counts else 0.0
     return AllocationProfile(
         benchmark=workload.name,

@@ -58,7 +58,17 @@ class SimPointSelection:
         return sum(p.weight for p in self.points)
 
     def estimate(self, per_interval_metric: Sequence[float]) -> float:
-        """Weighted estimate of a full-run metric from the points alone."""
+        """Weighted estimate of a full-run metric from the points alone.
+
+        ``per_interval_metric`` must cover the profiled run exactly — one
+        entry per interval.  A shorter sequence would otherwise raise a
+        bare ``IndexError`` (or worse, a longer one would silently weight
+        the wrong intervals), so the length is validated up front.
+        """
+        if len(per_interval_metric) != self.intervals:
+            raise ValueError(
+                f"per-interval metric has {len(per_interval_metric)} "
+                f"entries but the profile has {self.intervals} intervals")
         return sum(point.weight * per_interval_metric[point.interval]
                    for point in self.points)
 
@@ -119,7 +129,16 @@ def _kmeans(matrix: np.ndarray, k: int, seed: int = 7,
             if len(members):
                 centroids[cluster] = members.mean(axis=0)
             else:
-                farthest = distances.min(axis=1).argmax()
+                # Reseed on the point farthest from its *current* centroid.
+                # ``distances`` above is stale here: earlier clusters in
+                # this same sweep already moved their centroids, so the
+                # pre-update matrix can nominate a point that is now well
+                # covered.  Recompute, and break ties on the lowest index
+                # so the reseed is deterministic.
+                current = np.linalg.norm(
+                    matrix[:, None, :] - centroids[None, :, :], axis=2)
+                d = current.min(axis=1)
+                farthest = int(np.flatnonzero(d == d.max())[0])
                 centroids[cluster] = matrix[farthest]
     return assignments, centroids
 
@@ -160,10 +179,8 @@ def profile_bbvs(workload: Workload, interval: int = 1_000,
                             halt_on_violation=False)
     machine.bbv_interval = interval
     machine.run(max_instructions=max_instructions)
-    vectors = list(machine.bbv_vectors)
-    if machine._bbv_current:  # trailing partial interval
-        vectors.append(machine._bbv_current)
-    return vectors, machine
+    machine.flush_profiling_intervals()  # trailing partial interval
+    return list(machine.bbv_vectors), machine
 
 
 def select_for(workload: Workload, interval: int = 1_000, max_k: int = 8,

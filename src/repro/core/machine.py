@@ -341,6 +341,47 @@ class Chex86Machine:
         self.timing.finish()
         return self.telemetry.snapshot()
 
+    def snapshot(self) -> bytes:
+        """Serialize the complete machine state (see ``core.snapshot``).
+
+        Only legal at an instruction boundary (between ``step()`` calls);
+        the restored machine continues the run exactly from here.
+        """
+        from .snapshot import capture, to_bytes
+
+        return to_bytes(capture(self))
+
+    @classmethod
+    def restore(cls, data: bytes) -> "Chex86Machine":
+        """Reconstruct a machine from :meth:`snapshot` bytes.
+
+        Raises ``SnapshotSchemaError`` when the snapshot was written by
+        an incompatible version of the serializer.
+        """
+        from .snapshot import restore as _restore
+
+        return _restore(data)
+
+    def flush_profiling_intervals(self) -> None:
+        """Append any trailing partial profiling interval.
+
+        ``step()`` appends an interval's accumulator only at exact
+        interval boundaries, so a run whose length is not a multiple of
+        the interval ends with unrecorded state.  This flush is
+        idempotent and safe on a boundary: at an exact boundary (or
+        after a previous flush) the accumulator is already empty, so
+        calling it twice never double-appends.  An *empty* trailing
+        partial is not recorded — only boundary-complete intervals may
+        carry a zero count, matching the accounting the Figure 3
+        profiler has always used.
+        """
+        if self.profile_interval and self._interval_pids:
+            self.interval_pid_counts.append(len(self._interval_pids))
+            self._interval_pids = set()
+        if self.bbv_interval and self._bbv_current:
+            self.bbv_vectors.append(self._bbv_current)
+            self._bbv_current = {}
+
     def attach_tracer(self, tracer: EventTracer) -> EventTracer:
         """Start streaming structured events into ``tracer``."""
         self._tracer = tracer

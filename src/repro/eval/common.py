@@ -159,6 +159,46 @@ class BenchmarkRun:
         return cls(**{k: v for k, v in record.items() if k in names})
 
 
+@dataclass
+class IntervalRun:
+    """Replay of one checkpointed SimPoint interval (an engine cell).
+
+    Carries the telemetry *delta* over the interval (counters
+    differenced, ratios recomputed — the registry's delta algebra) plus
+    the machine's final cumulative snapshot and memory footprint, which
+    the sampling layer (``eval/sampling.py``) combines into an estimated
+    :class:`BenchmarkRun` via ``SimPointSelection.estimate``.
+    """
+
+    workload: str
+    defense: str
+    interval_index: int
+    instructions: int          # executed in this interval
+    halted: bool               # the program finished inside the interval
+    flagged: bool              # cumulative: any violation so far
+    metrics_delta: Dict[str, float]
+    final_metrics: Dict[str, float]
+    phase_delta: Dict[str, int]
+    rss_bytes: int             # footprint at interval end
+    shadow_rss_bytes: int
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "IntervalRun":
+        from dataclasses import fields
+
+        names = {f.name for f in fields(cls)}
+        missing = names - set(record)
+        if missing:
+            raise ValueError(
+                f"IntervalRun record missing fields: {sorted(missing)}")
+        return cls(**{k: v for k, v in record.items() if k in names})
+
+
 def run_benchmark(workload: Workload, defense: Defense,
                   config: CoreConfig = DEFAULT_CONFIG,
                   max_instructions: int = 2_000_000) -> BenchmarkRun:

@@ -68,7 +68,7 @@ from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
 from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
 from ..telemetry.registry import METRICS_SCHEMA, MetricsRegistry
-from .common import BenchmarkRun, run_benchmark
+from .common import BenchmarkRun, IntervalRun, run_benchmark
 from .faults import FaultPlan
 
 #: Bumped whenever the cache record layout (not the simulated behaviour)
@@ -131,28 +131,53 @@ class CellSpec:
     defense: str
     scale: int = 1
     max_instructions: int = 2_000_000
-    kind: str = "benchmark"      # "benchmark" | "patterns"
+    kind: str = "benchmark"      # "benchmark" | "patterns" | "interval"
     min_events: int = 0          # patterns cells: minimum reloads per PC
     config: CoreConfig = DEFAULT_CONFIG
+    # Interval cells only (checkpointed SimPoint replay, docs/sampling.md):
+    interval_index: int = -1     # which profiled interval this cell replays
+    interval_length: int = 0     # instructions to execute from the snapshot
+    checkpoint: str = ""         # snapshot file path (volatile, not hashed)
+    checkpoint_digest: str = ""  # sha256 of the snapshot bytes (hashed)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("benchmark", "patterns"):
+        if self.kind not in ("benchmark", "patterns", "interval"):
             raise ValueError(f"unknown cell kind {self.kind!r}")
-        if self.kind == "benchmark" and self.defense not in _VARIANT_BY_LABEL \
+        if self.kind in ("benchmark", "interval") \
+                and self.defense not in _VARIANT_BY_LABEL \
                 and self.defense != "asan":
             raise ValueError(f"unknown defense {self.defense!r}")
+        if self.kind == "interval":
+            if self.interval_index < 0 or self.interval_length <= 0:
+                raise ValueError(
+                    "interval cells need interval_index >= 0 and "
+                    "interval_length > 0")
+            if not self.checkpoint or not self.checkpoint_digest:
+                raise ValueError(
+                    "interval cells need a checkpoint path and digest")
 
     # -- identity ------------------------------------------------------------
 
     @property
     def label(self) -> str:
-        suffix = "" if self.kind == "benchmark" else f" [{self.kind}]"
+        if self.kind == "benchmark":
+            suffix = ""
+        elif self.kind == "interval":
+            suffix = f" [interval {self.interval_index}]"
+        else:
+            suffix = f" [{self.kind}]"
         return f"{self.workload}/{self.defense}{suffix}"
 
     def payload(self) -> Dict[str, object]:
         """Plain-data form: hashed for the cache key and shipped to
-        worker processes (picklable under any start method)."""
-        return {
+        worker processes (picklable under any start method).
+
+        Interval-only keys are added only for interval cells, so the
+        payload — and therefore the cache key — of every pre-existing
+        benchmark/patterns cell is byte-identical to what it was before
+        sampled simulation existed.
+        """
+        payload = {
             "workload": self.workload,
             "defense": self.defense,
             "scale": self.scale,
@@ -161,6 +186,12 @@ class CellSpec:
             "min_events": self.min_events,
             "config": asdict(self.config),
         }
+        if self.kind == "interval":
+            payload["interval_index"] = self.interval_index
+            payload["interval_length"] = self.interval_length
+            payload["checkpoint"] = self.checkpoint
+            payload["checkpoint_digest"] = self.checkpoint_digest
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CellSpec":
@@ -172,14 +203,25 @@ class CellSpec:
                    max_instructions=payload["max_instructions"],
                    kind=payload.get("kind", "benchmark"),
                    min_events=payload.get("min_events", 0),
-                   config=config)
+                   config=config,
+                   interval_index=payload.get("interval_index", -1),
+                   interval_length=payload.get("interval_length", 0),
+                   checkpoint=payload.get("checkpoint", ""),
+                   checkpoint_digest=payload.get("checkpoint_digest", ""))
 
     def cache_key(self) -> str:
         """Content hash over the spec and the package version, so any
-        change to the simulated configuration invalidates the cell."""
+        change to the simulated configuration invalidates the cell.
+
+        The checkpoint *path* is excluded: it names a temp-dir location
+        that varies run to run, while the content digest (which is
+        hashed) pins what the replay actually executes.
+        """
+        canonical_payload = self.payload()
+        canonical_payload.pop("checkpoint", None)
         canonical = json.dumps(
             {"schema": CACHE_SCHEMA, "version": __version__,
-             **self.payload()},
+             **canonical_payload},
             sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
@@ -195,6 +237,8 @@ def compute_cell(spec: CellSpec):
     """Simulate one cell from scratch; pure function of the spec."""
     from ..workloads import build
 
+    if spec.kind == "interval":
+        return _replay_interval(spec)
     workload = build(spec.workload, spec.scale)
     if spec.kind == "benchmark":
         defense = _VARIANT_BY_LABEL.get(spec.defense, spec.defense)
@@ -214,10 +258,50 @@ def compute_cell(spec: CellSpec):
     return profile_patterns(machine.reload_trace, spec.min_events)
 
 
+def _replay_interval(spec: CellSpec):
+    """Replay one checkpointed interval and measure its telemetry delta.
+
+    The snapshot bytes are digest-verified before restore, so a stale or
+    rewritten checkpoint file fails loudly instead of silently replaying
+    the wrong state.
+    """
+    from ..core.snapshot import SnapshotError, snapshot_digest
+    from ..core.machine import Chex86Machine
+
+    data = Path(spec.checkpoint).read_bytes()
+    if snapshot_digest(data) != spec.checkpoint_digest:
+        raise SnapshotError(
+            f"checkpoint {spec.checkpoint} content does not match the "
+            f"cell's recorded digest; re-run the checkpoint pass")
+    machine = Chex86Machine.restore(data)
+    base_metrics = machine.metrics_snapshot()
+    base_phase = machine.phase_counters()
+    base_instructions = machine.instructions
+    machine.run_quantum(spec.interval_length)
+    final_metrics = machine.metrics_snapshot()
+    phase = machine.phase_counters()
+    return IntervalRun(
+        workload=spec.workload,
+        defense=spec.defense,
+        interval_index=spec.interval_index,
+        instructions=machine.instructions - base_instructions,
+        halted=machine.halted,
+        flagged=machine.violations.count() > 0,
+        metrics_delta=machine.telemetry.delta(base_metrics, final_metrics),
+        final_metrics=final_metrics,
+        phase_delta={name: value - base_phase.get(name, 0)
+                     for name, value in phase.items()},
+        rss_bytes=machine.system.memory.resident_bytes,
+        shadow_rss_bytes=machine.system.shadow_bytes,
+    )
+
+
 def encode_result(spec: CellSpec, result) -> Dict[str, object]:
     """JSON-serializable form of a cell result (by kind)."""
     if spec.kind == "benchmark":
         return {"benchmark_run": result.to_dict()}
+    if spec.kind == "interval":
+        return {"interval_run": result.to_dict()}
     return {"pattern_profile": {str(pc): pattern.value
                                 for pc, pattern in result.per_pc.items()}}
 
@@ -227,6 +311,8 @@ def decode_result(spec: CellSpec, encoded: Dict[str, object]):
     on malformed records (callers treat that as a cache miss)."""
     if spec.kind == "benchmark":
         return BenchmarkRun.from_dict(encoded["benchmark_run"])
+    if spec.kind == "interval":
+        return IntervalRun.from_dict(encoded["interval_run"])
     from collections import Counter
 
     per_pc = {int(pc): Pattern(value)

@@ -59,6 +59,53 @@ class TestSelection:
         with pytest.raises(ValueError):
             SimulationPoint(interval=0, weight=0.0)
 
+    def test_estimate_validates_metric_length(self):
+        """A per-interval metric that does not cover the profile exactly
+        must raise a clear ValueError, not mis-weight or IndexError."""
+        selection = select(phased_vectors(), max_k=2)
+        with pytest.raises(ValueError, match="19 entries.*20 intervals"):
+            selection.estimate([1.0] * 19)
+        with pytest.raises(ValueError, match="21 entries.*20 intervals"):
+            selection.estimate([1.0] * 21)
+        # The exact length still works.
+        assert selection.estimate([1.0] * 20) == pytest.approx(1.0)
+
+
+class TestKmeansEmptyClusterReseeding:
+    """Duplicated two-phase BBVs force ``k > distinct points``: every
+    Lloyd sweep empties a cluster and exercises the reseeding path.  The
+    reseed must measure distances against the *current* centroids (the
+    pre-sweep distance matrix is stale once earlier clusters moved) and
+    break ties deterministically."""
+
+    VECTORS = [{0: 50, 1: 50}] * 6 + [{10: 80, 11: 20}] * 6
+
+    def test_pinned_assignments_for_two_phase_duplicates(self):
+        from repro.analysis.simpoint import _kmeans, _to_matrix
+
+        assignments, _ = _kmeans(_to_matrix(self.VECTORS), 3)
+        assert assignments.tolist() == [1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2]
+
+    def test_phases_stay_separated_under_reseeding(self):
+        selection = select(self.VECTORS, max_k=3)
+        # Exactly one representative per phase, half the run each.
+        assert len(selection.points) == 2
+        intervals = sorted(point.interval for point in selection.points)
+        assert intervals[0] < 6 <= intervals[1]
+        assert [point.weight for point in selection.points] \
+            == pytest.approx([0.5, 0.5])
+        # Every phase-A interval shares one cluster, phase B the other.
+        assert len(set(selection.cluster_of[:6])) == 1
+        assert len(set(selection.cluster_of[6:])) == 1
+        assert selection.cluster_of[0] != selection.cluster_of[6]
+
+    def test_reseeding_is_deterministic(self):
+        first = select(self.VECTORS, max_k=3)
+        second = select(self.VECTORS, max_k=3)
+        assert first.cluster_of == second.cluster_of
+        assert [(p.interval, p.weight) for p in first.points] \
+            == [(p.interval, p.weight) for p in second.points]
+
 
 class TestProfilingPipeline:
     def test_bbv_collection_on_a_workload(self):
