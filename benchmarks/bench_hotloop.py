@@ -74,11 +74,18 @@ def measure(name: str, scale: int, budget: int, repeats: int,
         write_snapshot(metrics_out, machine.metrics_snapshot(),
                        meta={"benchmark": "hotloop", "workload": name,
                              "scale": scale, "budget": budget})
+    counters = machine.phase_counters()
+    covered = counters["frontend.superblock_instructions"]
+    bailouts_per_kilo = (1000.0 * counters["frontend.superblock_bailouts"]
+                         / instructions if instructions else 0.0)
     return {
         "workload": name,
         "instructions": instructions,
         "cycles": cycles,
         "simulated_mips": round(best_mips, 4),
+        "superblock_coverage": round(
+            covered / instructions if instructions else 0.0, 4),
+        "superblock_bailouts_per_kinstr": round(bailouts_per_kilo, 4),
     }
 
 
@@ -128,7 +135,10 @@ def main(argv=None) -> int:
         results.append(record)
         print(f"{name:14s} {record['instructions']:>9,} instr  "
               f"{record['cycles']:>9,} cycles  "
-              f"{record['simulated_mips']:.4f} simulated-MIPS")
+              f"{record['simulated_mips']:.4f} simulated-MIPS  "
+              f"{record['superblock_coverage']:.2%} superblock coverage  "
+              f"{record['superblock_bailouts_per_kinstr']:.2f} "
+              f"bailouts/kinstr")
 
     aggregate = round(aggregate_mips(results), 4)
     report = {

@@ -14,6 +14,14 @@ Per-instance statistics stay exact: the replay path charges decode
 counters, interception deltas, and check injection/suppression counters
 for every dynamic execution, so a fast-path run is bit-identical to the
 old decode-every-step loop — including all ``results/*.txt`` artifacts.
+
+One level up, :class:`Superblock` chains consecutive decoded blocks of a
+straight-line region into a single replay unit (the trace-cache idea:
+amortize per-instruction dispatch across a whole run of hot code).
+``Chex86Machine.run_quantum`` replays superblocks with one dispatch per
+*block*, applying the aggregated decode/stat deltas in O(1) per replay;
+the per-member side table keeps fetch-group, icache, trace, BBV and
+profile-interval accounting bit-identical to per-instruction stepping.
 """
 
 from __future__ import annotations
@@ -23,6 +31,18 @@ from typing import Optional, Tuple
 
 from ..isa.instructions import INSTR_SLOT, Instr
 from ..microop.decoder import DecodePath
+from ..microop.uops import UopKind
+
+#: Formation cap: a superblock never chains more than this many member
+#: instructions.  Bounds compile cost and keeps the budget-aware entry
+#: guard (`remaining >= len(superblock)`) from starving short quanta.
+SUPERBLOCK_MAX_MEMBERS = 64
+
+#: Micro-op kinds that redirect (or end) fetch: a member containing one
+#: terminates superblock formation (the control uop itself is included —
+#: its dynamic target just ends the replay).
+_CONTROL_KINDS = frozenset((UopKind.BR, UopKind.JMP, UopKind.JMP_IND,
+                            UopKind.HALT))
 
 
 @dataclass(slots=True)
@@ -93,4 +113,94 @@ def compile_block(machine, pc: int) -> DecodedBlock:
         fallthrough=pc + INSTR_SLOT,
         intercept_deltas=deltas if any(deltas) else None,
         entries=tuple(entries),
+    )
+
+
+@dataclass(slots=True)
+class Superblock:
+    """A straight-line chain of :class:`DecodedBlock`\\ s replayed as one
+    unit (the trace-cache idea one level above the decoded-uop cache).
+
+    ``members`` is the replay-time side table: one ``(pc, fetch_slots,
+    icache_line, entries, fallthrough)`` tuple per member instruction,
+    with the fetch-group slot count (MSROM widening already applied) and
+    the icache line index precomputed so the executor passes plain ints
+    to ``TimingModel.fetch_block``.  ``blocks`` keeps the member
+    :class:`DecodedBlock`\\ s for the partial-retire unwind path and for
+    BBV accounting.  The decode-stat aggregates (``native_uops`` and the
+    per-path counts) let a full replay charge its front-end counters as
+    one O(1) delta instead of per instruction.
+    """
+
+    entry: int
+    length: int
+    blocks: Tuple[DecodedBlock, ...]
+    members: Tuple[Tuple[int, int, int, Tuple[tuple, ...], int], ...]
+    native_uops: int
+    #: (simple, complex, msrom) decode-path counts across members.
+    decode_counts: Tuple[int, int, int]
+    #: Specialized replay function generated by ``sbcompile.compile_replay``
+    #: (None when the trace compiler declined; the machine then replays
+    #: through the interpreted executor).
+    replay: Optional[object] = None
+
+
+def compile_superblock(machine, pc: int) -> Optional[Superblock]:
+    """Chain decoded blocks from ``pc`` into a superblock, or ``None``.
+
+    Formation rules (each is required for replay exactness or cost
+    control):
+
+    * members follow fallthrough order; the first member containing a
+      control-transfer/halt micro-op is included and terminates the
+      chain (its dynamic target simply ends the replay);
+    * a heap-interception site (``intercept_deltas`` set) stops the
+      chain *before* itself — interception charges MCU stats and emits
+      trace events that the per-instruction path owns;
+    * a pc outside the text section stops the chain (falling through
+      into it must trap exactly where the slow path traps);
+    * chains are capped at :data:`SUPERBLOCK_MAX_MEMBERS` members and
+      must have at least two (a single-member superblock is just the
+      decoded-block fast path with extra dispatch).
+    """
+    fetch_width = machine.config.fetch_width
+    line_shift = machine.timing._line_shift
+    blocks = []
+    pcs = []
+    cursor = pc
+    while len(blocks) < SUPERBLOCK_MAX_MEMBERS:
+        block = machine._block_at(cursor)
+        if block is None or block.intercept_deltas is not None:
+            break
+        blocks.append(block)
+        pcs.append(cursor)
+        if any(entry[1].kind in _CONTROL_KINDS for entry in block.entries):
+            break
+        cursor = block.fallthrough
+    if len(blocks) < 2:
+        return None
+
+    members = []
+    native_uops = 0
+    n_simple = n_complex = n_msrom = 0
+    for member_pc, block in zip(pcs, blocks):
+        slots = fetch_width if block.msrom else block.fetch_slots
+        members.append((member_pc, slots, member_pc >> line_shift,
+                        block.entries, block.fallthrough))
+        native_uops += block.native_uops
+        path = block.path
+        if path is DecodePath.SIMPLE:
+            n_simple += 1
+        elif path is DecodePath.COMPLEX:
+            n_complex += 1
+        else:
+            n_msrom += 1
+
+    return Superblock(
+        entry=pc,
+        length=len(blocks),
+        blocks=tuple(blocks),
+        members=tuple(members),
+        native_uops=native_uops,
+        decode_counts=(n_simple, n_complex, n_msrom),
     )

@@ -41,13 +41,19 @@ from ..telemetry.tracer import EventTracer
 from .alias import AliasCache, StoreBufferPids, WALK_LEVELS
 from .capability import CAPABILITY_BYTES, WILD_PID
 from .checker import HardwareChecker
-from .fastpath import DecodedBlock, compile_block
+from .fastpath import (
+    DecodedBlock,
+    Superblock,
+    compile_block,
+    compile_superblock,
+)
 from .mcu import (
     CHECK_INJECT,
     CHECK_SUPPRESS,
     MicrocodeCustomizationUnit,
 )
 from .predictor import MispredictKind, PointerReloadPredictor
+from .sbcompile import compile_replay
 from .rules import MEMORY_POLICY, RuleDatabase
 from .tracker import SpeculativePointerTracker
 from .variants import CheckPolicy, Variant, traits_of
@@ -55,6 +61,13 @@ from .violations import CapabilityException, Violation, ViolationKind, Violation
 
 _RSP = int(Reg.RSP)
 _RAX = int(RET_REG)
+
+#: Middle setting of the 3-way ``block_cache_enabled`` knob: cache and
+#: replay per-instruction :class:`DecodedBlock`\ s but never form
+#: superblocks.  ``True`` (the default) additionally compiles and
+#: replays superblocks; any falsy value forces the slow path (every
+#: dynamic instruction recompiles its block).
+BLOCK_CACHE_BLOCKS = "blocks"
 
 
 class MachineError(Exception):
@@ -188,12 +201,26 @@ class Chex86Machine:
 
         # Decoded-block fast path: per-pc precompiled front-end plans and
         # the UopKind-indexed execute dispatch table (built once per core).
-        # block_cache_enabled=False forces the slow path — every dynamic
-        # instruction recompiles its block — which must be behaviourally
-        # identical to replay (the differential fuzz suite's oracle).
+        # block_cache_enabled is a 3-way knob: True (default) also forms
+        # and replays superblocks; BLOCK_CACHE_BLOCKS caches per-
+        # instruction blocks only; any falsy value forces the slow path —
+        # every dynamic instruction recompiles its block.  All three must
+        # be behaviourally identical (the differential fuzz suite's
+        # oracle).
         self.block_cache_enabled = True
         self._blocks_compiled = 0
         self._blocks: Dict[int, DecodedBlock] = {}
+        # Superblock replay state: per-entry-pc compiled chains (None is
+        # cached too, marking pcs where formation failed so the quantum
+        # loop does not retry them), plus the frontend.* coverage
+        # counters.  fallback_instructions counts every instruction
+        # retired through step() so that superblock_instructions +
+        # fallback_instructions == instructions holds exactly.
+        self._superblocks: Dict[int, Optional[Superblock]] = {}
+        self._superblocks_compiled = 0
+        self._superblock_instructions = 0
+        self._superblock_bailouts = 0
+        self._fallback_instructions = 0
         self._dispatch: Dict[UopKind, Callable] = {
             UopKind.LD: self._exec_load,
             UopKind.ST: self._exec_store,
@@ -244,8 +271,10 @@ class Chex86Machine:
 
         # Execution tracing: set trace_limit > 0 to record the first N
         # (pc, instruction) steps for debugging; format with format_trace().
-        self.trace_limit: int = 0
+        # The trace list must exist before the trace_limit property setter
+        # recomputes the hoisted _trace_active flag.
         self.execution_trace: List[Tuple[int, Instr]] = []
+        self.trace_limit = 0
 
         # Telemetry: the pull-based metrics registry reads the plain-int
         # stats counters above only when a snapshot is taken, so the hot
@@ -294,6 +323,25 @@ class Chex86Machine:
         """PID assigned to a symbol-table global at load (0 if untracked)."""
         return self._global_pids.get(name, 0)
 
+    # ------------------------------------------------------------- tracing
+
+    @property
+    def trace_limit(self) -> int:
+        """Record the first N ``(pc, instr)`` steps (0 disables tracing).
+
+        Stored behind a property so the per-step check is one precomputed
+        boolean (``_trace_active``) instead of a limit comparison against
+        ``len(execution_trace)`` on every instruction; the setter (also
+        hit by snapshot restore) recomputes it.
+        """
+        return self._trace_limit
+
+    @trace_limit.setter
+    def trace_limit(self, value: int) -> None:
+        self._trace_limit = value
+        self._trace_active = bool(value) \
+            and len(self.execution_trace) < value
+
     # ------------------------------------------------------------- telemetry
 
     def _register_metrics(self, registry: MetricsRegistry) -> None:
@@ -316,6 +364,16 @@ class Chex86Machine:
                        "timing.cycles")
         registry.ratio("machine.uop_expansion", "machine.uops",
                        "machine.native_uops")
+        registry.register_object("frontend", self, {
+            "blocks_compiled": "_blocks_compiled",
+            "superblocks_compiled": "_superblocks_compiled",
+            "superblock_instructions": "_superblock_instructions",
+            "superblock_bailouts": "_superblock_bailouts",
+            "fallback_instructions": "_fallback_instructions",
+        })
+        registry.ratio("frontend.superblock_coverage",
+                       "frontend.superblock_instructions",
+                       "machine.instructions")
         self.mcu.stats.register_metrics(registry, "machine.mcu")
         self.tracker.stats.register_metrics(registry, "machine.tracker")
         self.reload_predictor.stats.register_metrics(registry, "predictor")
@@ -464,15 +522,56 @@ class Chex86Machine:
 
         A trapping violation halts the core and is recorded.  Returns the
         number of instructions actually executed.
+
+        In the default superblock mode (``block_cache_enabled is True``)
+        the loop replays whole compiled superblocks with one dispatch per
+        chain.  A superblock is entered only when replaying it in full is
+        exactly equivalent to per-instruction stepping: the remaining
+        budget covers its length, no execution trace or event tracer is
+        active, and no ``profile_interval``/``bbv_interval`` boundary
+        lands inside it.  Everything else — including a trapping
+        ``CapabilityException`` mid-chain, which unwinds to the trapping
+        member — takes the per-instruction path.
         """
+        start = self.instructions
         executed = 0
         try:
-            while not self.halted and executed < budget:
-                self.step()
-                executed += 1
+            if self.block_cache_enabled is True:
+                superblocks = self._superblocks
+                profile_interval = self.profile_interval
+                while not self.halted and executed < budget:
+                    pc = self.rip
+                    try:
+                        sb = superblocks[pc]
+                    except KeyError:
+                        sb = superblocks[pc] = self._compile_superblock(pc)
+                    if sb is not None:
+                        n = sb.length
+                        bbv = self.bbv_interval
+                        if (n <= budget - executed
+                                and not self._trace_active
+                                and self._tracer is None
+                                and self.instructions % profile_interval + n
+                                    < profile_interval
+                                and (not bbv or
+                                     self.instructions % bbv + n < bbv)):
+                            replay = sb.replay
+                            executed += (replay(self) if replay is not None
+                                         else self._step_superblock(sb))
+                            continue
+                        self._superblock_bailouts += 1
+                    self.step()
+                    executed += 1
+            else:
+                while not self.halted and executed < budget:
+                    self.step()
+                    executed += 1
         except CapabilityException as exc:
             self.violations.record(exc.violation)
             self.halted = True
+            # Members a trapping superblock retired before the violation
+            # still count as executed (they committed normally).
+            executed = self.instructions - start
         if self._quantum_metrics:
             self._record_quantum()
         return executed
@@ -508,8 +607,11 @@ class Chex86Machine:
         block = self._blocks.get(pc)
         if block is None:
             block = self._compile_block(pc)
-        if self.trace_limit and len(self.execution_trace) < self.trace_limit:
-            self.execution_trace.append((pc, block.instr))
+        if self._trace_active:
+            trace = self.execution_trace
+            trace.append((pc, block.instr))
+            if len(trace) >= self._trace_limit:
+                self._trace_active = False
 
         # Per-dynamic-instance front-end accounting (decode counters,
         # heap-interception events) — identical to re-decoding every step.
@@ -575,6 +677,7 @@ class Chex86Machine:
 
         # ---- commit ----------------------------------------------------------
         self.instructions += 1
+        self._fallback_instructions += 1
         if self._tracks:
             tracker.commit(seq)
             if self.store_buffer._pending:
@@ -608,6 +711,147 @@ class Chex86Machine:
             self._blocks[pc] = block
         return block
 
+    def _block_at(self, pc: int) -> Optional[DecodedBlock]:
+        """The decoded block at ``pc``, or None when pc is outside the
+        text section (superblock formation stops instead of trapping —
+        falling through into bad pcs must fault on the slow path)."""
+        block = self._blocks.get(pc)
+        if block is None:
+            try:
+                block = self._compile_block(pc)
+            except MachineError:
+                return None
+        return block
+
+    def _compile_superblock(self, pc: int) -> Optional[Superblock]:
+        superblock = compile_superblock(self, pc)
+        if superblock is not None:
+            self._superblocks_compiled += 1
+            superblock.replay = compile_replay(self, superblock)
+        return superblock
+
+    def _step_superblock(self, sb: Superblock) -> int:
+        """Replay one compiled superblock (the multi-instruction path).
+
+        Mirrors :meth:`step` member by member — fetch-group/icache
+        charges, live tracker-dependent check injection, and the
+        per-member tracker/store-buffer commit all stay interleaved in
+        program order — while the bookkeeping nothing reads mid-chain
+        (decode counters, ``instructions``, ``timing.macro_ops``, BBV
+        counts) is applied as one batched delta by
+        :meth:`_retire_members`.  A trapping ``CapabilityException``
+        unwinds to exactly the state the per-instruction path would
+        leave: completed members retired, the trapping member's
+        front-end charges applied but its retire skipped, and ``rip`` at
+        the trapping pc.  Returns the number of members retired.
+        """
+        fetch_block = self.timing.fetch_block
+        tracker = self.tracker
+        tracks = self._tracks
+        store_buffer = self.store_buffer
+        mstats = self.mcu.stats
+        members = sb.members
+        seq = self._seq
+        uops = 0
+        retired = 0
+        next_rip = self.rip
+        try:
+            # The loop target binds each member's fallthrough to next_rip
+            # before its body runs; control uops overwrite it below.
+            for pc, slots, line, entries, next_rip in members:
+                fetch_block(slots, line)
+                for handler, uop, base_reg, mode, check in entries:
+                    if mode:
+                        base_pid = tracker.current_pid(base_reg) \
+                            if base_reg >= 0 else 0
+                        if check is not None:
+                            if mode == CHECK_INJECT or base_pid:
+                                mstats.injected_uops += 1
+                                mstats.capchecks += 1
+                                check.pid = base_pid
+                                seq += 1
+                                uops += 1
+                                self._exec_capcheck(check, pc, seq)
+                                if self.halted:
+                                    break
+                        elif mode == CHECK_SUPPRESS or base_pid:
+                            mstats.capchecks_suppressed_context += 1
+                    seq += 1
+                    uops += 1
+                    target = handler(uop, pc, seq)
+                    if target is not None:
+                        next_rip = target
+                    if self.halted:
+                        break
+                if tracks:
+                    tracker.commit(seq)
+                    if store_buffer._pending:
+                        committed = store_buffer.commit_upto(
+                            seq, self.alias_table, self.alias_cache)
+                        for address, pid in committed:
+                            if pid:
+                                self.tlb.mark_alias_hosting(address)
+                            self.system.broadcast_alias_invalidate(
+                                address, self.core_id)
+                retired += 1
+                if self.halted:
+                    break
+        except CapabilityException:
+            # Slow unwind: the trapping member's fetch/decode charges
+            # stand (as on the per-instruction path, which charges the
+            # front end before executing), but it does not retire.
+            self._superblock_bailouts += 1
+            self._retire_members(sb, retired, retired + 1)
+            self.rip = members[retired][0]
+            raise
+        finally:
+            # Local seq/uop counts sync back even on a trap, exactly as
+            # in step(), so mid-member state stays exact.
+            self._seq = seq
+            self.total_uops += uops
+        self._retire_members(sb, retired, retired)
+        self.rip = next_rip
+        return retired
+
+    def _retire_members(self, sb: Superblock, retired: int,
+                        decoded: int) -> None:
+        """Apply the batched bookkeeping for one superblock replay.
+
+        ``decoded`` members incurred front-end charges (decode-path
+        counters, native-uop counts, ``timing.macro_ops``); ``retired``
+        members committed (``instructions``, BBV counts).  A full replay
+        applies the precomputed O(1) aggregates; the trap/halt unwind
+        recomputes the partial prefix from the member side table.
+        """
+        dstats = self.decoder.stats
+        if decoded == sb.length:
+            n_simple, n_complex, n_msrom = sb.decode_counts
+            dstats.simple += n_simple
+            dstats.complex += n_complex
+            dstats.msrom += n_msrom
+            dstats.native_uops += sb.native_uops
+            self.native_uops += sb.native_uops
+        else:
+            for block in sb.blocks[:decoded]:
+                path = block.path
+                if path is DecodePath.SIMPLE:
+                    dstats.simple += 1
+                elif path is DecodePath.COMPLEX:
+                    dstats.complex += 1
+                else:
+                    dstats.msrom += 1
+                dstats.native_uops += block.native_uops
+                self.native_uops += block.native_uops
+        dstats.macro_ops += decoded
+        self.timing.commit_macros(decoded)
+        self.instructions += retired
+        self._superblock_instructions += retired
+        if self.bbv_interval:
+            bbv = self._bbv_current
+            for block in sb.blocks[:retired]:
+                index = block.macro_index
+                bbv[index] = bbv.get(index, 0) + 1
+
     def phase_counters(self) -> Dict[str, int]:
         """Flat per-phase cycle/uop counters (the ``--profile`` surface).
 
@@ -622,6 +866,10 @@ class Chex86Machine:
             "frontend.fetch_groups": timing.fetch_groups,
             "frontend.icache_misses": timing.icache_misses,
             "frontend.blocks_compiled": self._blocks_compiled,
+            "frontend.superblocks_compiled": self._superblocks_compiled,
+            "frontend.superblock_instructions": self._superblock_instructions,
+            "frontend.superblock_bailouts": self._superblock_bailouts,
+            "frontend.fallback_instructions": self._fallback_instructions,
             "decode.macro_ops": decode.macro_ops,
             "decode.simple": decode.simple,
             "decode.complex": decode.complex,
@@ -758,12 +1006,12 @@ class Chex86Machine:
         the always-on policies inject the check regardless, so a wrong
         front-end PID is repaired by forwarding, never by a flush.
         """
-        predicted = self.reload_predictor.predict(pc)
+        predicted, blacklisted = self.reload_predictor.predict_ex(pc)
         # Store-to-load forwarding of PIDs beats the cache/table.
         forwarded = self.store_buffer.forward(address)
         if forwarded is not None:
             actual = forwarded
-        elif self.reload_predictor.is_blacklisted(pc):
+        elif blacklisted:
             # Confidently a data load: the alias-cache validation lookup is
             # skipped (the blacklist's anti-pollution role).  When the
             # blacklist is stale the walk result disagrees, the P0AN path

@@ -130,20 +130,48 @@ class PointerReloadPredictor:
         self.stats.predictions += 1
         return prediction if prediction > 0 else entry.last_pid
 
+    def predict_ex(self, pc: int) -> Tuple[int, bool]:
+        """:meth:`predict` fused with the blacklist decision.
+
+        Returns ``(prediction, blacklisted)`` from a single blacklist
+        probe — the resolve path needs both, and probing twice (once
+        inside :meth:`predict`, once via :meth:`is_blacklisted`) doubles
+        the hottest table access.  Counter for counter identical to
+        calling ``predict(pc)`` then ``is_blacklisted(pc)``.
+        """
+        stats = self.stats
+        stats.lookups += 1
+        tag, conf = self._blacklist[(pc // INSTR_SLOT) % self._bl_size]
+        if tag == pc and conf >= self.CONF_THRESHOLD:
+            stats.blacklist_filtered += 1
+            return 0, True
+        entry = self._table[(pc // INSTR_SLOT) % self.entries]
+        if entry is None or entry.tag != pc:
+            return 0, False
+        if entry.conf >= self.CONF_THRESHOLD:
+            prediction = entry.last_pid + entry.stride
+        else:
+            prediction = entry.last_pid
+        stats.predictions += 1
+        return (prediction if prediction > 0 else entry.last_pid), False
+
     def update(self, pc: int, predicted: int, actual: int) -> Optional[str]:
         """Train on the execute-stage outcome; returns the mispredict class.
 
         ``actual`` is the PID found in the shadow alias table at the load's
         effective address (0 when the location held no spilled pointer).
         """
-        outcome = self._classify(predicted, actual)
-        if outcome is None:
+        if predicted == actual:
             self.stats.correct += 1
-        elif outcome == MispredictKind.PNA0:
+            outcome = None
+        elif predicted and not actual:
+            outcome = MispredictKind.PNA0
             self.stats.pna0 += 1
-        elif outcome == MispredictKind.P0AN:
+        elif not predicted:
+            outcome = MispredictKind.P0AN
             self.stats.p0an += 1
         else:
+            outcome = MispredictKind.PMAN
             self.stats.pman += 1
         self._train(pc, actual)
         return outcome

@@ -1,0 +1,886 @@
+"""Superblock trace compiler: specialized replay functions.
+
+The interpreted superblock executor (``Chex86Machine._step_superblock``)
+already amortizes per-*instruction* dispatch, but it still pays per-uop
+interpretation: tuple unpacking, check-mode branching, handler calls, and
+attribute traffic for operands that are all pure functions of the static
+superblock.  This module closes that gap the way a trace cache does — by
+*compiling the trace*: for each :class:`~.fastpath.Superblock` it emits a
+straight-line Python function with every static decision folded at
+compile time:
+
+* operand register indices, immediates, effective-address shapes, FU
+  classes, and latencies appear as literals;
+* the per-uop check-injection mode (``CHECK_*``) is resolved into the
+  exact residual code — nothing for never-checked uops, a counter bump
+  for suppressed sites, the inlined ``capCheck`` body for injection
+  sites (guarded by the live base-register PID where the prediction
+  policy demands it);
+* Table I rule lookups are resolved to their propagation policy (legal
+  because rules can only change through the checker co-processor, and
+  compilation is refused when a checker is attached), and the tracker's
+  per-policy tag updates are inlined;
+* ALU semantics, flag derivation, and branch-condition tests are emitted
+  per concrete ``AluOp``/condition instead of dispatched.
+
+Exactness contract: the generated function performs *the same mutating
+calls in the same order* as the interpreted path — ``timing.fetch_block``
+/ ``schedule`` / ``mem_access`` / ``shadow_access``, memory reads/writes,
+TLB and capability-cache touches, tracker tag writes, store-buffer
+records, and predictor updates all stay interleaved per member.  Only
+side-effect-free recomputation (operand decoding, rule lookup, effective
+addresses, flag bit twiddling) is hoisted to compile time.  The local
+``seq`` counter is flushed before any operation that can raise a
+``CapabilityException`` so a trapping replay unwinds with bit-identical
+machine state; the trap handler retires the completed prefix and leaves
+``rip`` at the trapping member, exactly like the interpreted executor.
+
+Compilation is refused (returning ``None``, which makes the machine fall
+back to the interpreted executor) when a checker co-processor is attached
+(rules may learn mid-run) or when a member uses a construct the emitter
+does not specialize; unknown uop kinds fall back to a plain handler call
+inside the generated code, so refusal is rare.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instructions import INSTR_SLOT, Op
+from ..isa.registers import MASK64, _FLAG_VALUES
+from ..memory.memory import PAGE_SHIFT, PAGE_SIZE
+from ..microop.uops import AluOp, Uop, UopKind
+from .capability import CAPABILITY_BYTES, WILD_PID
+from .mcu import (
+    CHECK_INJECT,
+    CHECK_INJECT_IF_PID,
+    CHECK_NEVER,
+    CHECK_SUPPRESS,
+    CHECK_SUPPRESS_IF_PID,
+)
+from .predictor import MispredictKind
+from .rules import Propagation
+from .violations import CapabilityException
+
+#: Memory-resolved propagation policies (the machine routes these through
+#: the alias subsystem rather than the register tags).
+_MEMORY_POLICIES = (Propagation.FROM_MEMORY, Propagation.TO_MEMORY)
+
+#: Branch-condition expressions over the flag bit vector ``_f``
+#: (ZF=bit0, SF=bit1, CF=bit2, OF=bit3) — each evaluates to a bool and
+#: agrees with ``machine._branch_taken`` for every flag pattern.
+_COND_EXPRS = {
+    "je": "(_f & 1) != 0",
+    "jne": "(_f & 1) == 0",
+    "jl": "((_f >> 1) & 1) != ((_f >> 3) & 1)",
+    "jle": "(_f & 1) != 0 or ((_f >> 1) & 1) != ((_f >> 3) & 1)",
+    "jg": "(_f & 1) == 0 and ((_f >> 1) & 1) == ((_f >> 3) & 1)",
+    "jge": "((_f >> 1) & 1) == ((_f >> 3) & 1)",
+    "jb": "(_f & 4) != 0",
+    "jae": "(_f & 4) == 0",
+}
+
+#: Replay-time prologue bindings, in dependency order.  Only the ones a
+#: superblock's body actually references are emitted.
+_PROLOGUE = (
+    ("timing", "timing = m.timing"),
+    ("schedule", "schedule = timing.schedule"),
+    ("schedule1", "schedule1 = timing.schedule_simple"),
+    ("t_stats", "t_stats = timing.stats"),
+    ("fetch_line", "fetch_line = timing.fetch_line"),
+    ("mem_access", "mem_access = timing.mem_access"),
+    ("shadow_access", "shadow_access = timing.shadow_access"),
+    ("taken_branch", "taken_branch = timing.taken_branch"),
+    ("redirect", "redirect = timing.redirect"),
+    ("regs", "regs = m.regs"),
+    ("mem_stats", "mem_stats = m.memory.stats"),
+    ("mem_pages", "mem_pages = m.memory._pages"),
+    ("new_page", "new_page = m.memory._page"),
+    ("tlb_sets", "tlb_sets = m.tlb._cache._sets"),
+    ("tlbc_stats", "tlbc_stats = m.tlb._cache.stats"),
+    ("tlb_stats", "tlb_stats = m.tlb.stats"),
+    ("tlb_refill", "tlb_refill = m.tlb.refill"),
+    ("l1d_sets", "l1d_sets = timing.l1d._sets"),
+    ("l1d_stats", "l1d_stats = timing.l1d.stats"),
+    ("mem_miss", "mem_miss = timing.mem_access_miss"),
+    ("tracker", "tracker = m.tracker"),
+    ("tags", "tags = m.tracker._tags"),
+    ("dirty", "dirty = m.tracker._dirty"),
+    ("tcommit", "tcommit = m.tracker.commit"),
+    ("tstats", "tstats = m.tracker.stats"),
+    ("sbuf", "sbuf = m.store_buffer"),
+    ("pending_q", "pending_q = m.store_buffer._pending"),
+    ("atable", "atable = m.alias_table"),
+    ("acache", "acache = m.alias_cache"),
+    ("tlb_mark", "tlb_mark = m.tlb.mark_alias_hosting"),
+    ("sys_bcast", "sys_bcast = m.system.broadcast_alias_invalidate"),
+    ("mstats", "mstats = m.mcu.stats"),
+    ("predict_ex", "predict_ex = m.reload_predictor.predict_ex"),
+    ("pred_update", "pred_update = m.reload_predictor.update"),
+    ("sb_forward", "sb_forward = m.store_buffer.forward"),
+    ("atable_peek", "atable_peek = m.alias_table.peek"),
+    ("acache_install", "acache_install = m.alias_cache.install"),
+    ("acache_lookup", "acache_lookup = m.alias_cache.lookup"),
+    ("tlb_hosts", "tlb_hosts = m.tlb.page_hosts_aliases"),
+    ("occupy", "occupy = timing.occupy"),
+    ("capcache_access", "capcache_access = m.capcache.access"),
+    ("captable_check", "captable_check = m.captable.check"),
+    ("ipids_add", "ipids_add = m._interval_pids.add"),
+    ("resolve_cond", "resolve_cond = m.predictors.resolve_conditional"),
+    ("resolve_ind", "resolve_ind = m.predictors.resolve_indirect"),
+    ("on_call", "on_call = m.predictors.on_call"),
+)
+
+
+class _Unsupported(Exception):
+    """A construct the emitter does not specialize; fall back to the
+    interpreted executor."""
+
+
+#: Source -> code-object cache shared across machines.  The generated
+#: source depends only on the static superblock (program text, variant
+#: policy, rule database, timing constants); every machine-specific
+#: object is bound *by name* at exec/replay time, so two machines
+#: compiling the same superblock produce byte-identical source and can
+#: share the (immutable) code object.  This makes re-creating a machine
+#: over the same program — benchmark repeats, differential runs,
+#: snapshot-restore recompiles — skip the dominant ``compile()`` cost.
+_CODE_CACHE: dict = {}
+
+
+class _Emitter:
+    """Accumulates body lines, namespace constants, and pending ``seq``
+    increments for one generated replay function."""
+
+    def __init__(self) -> None:
+        self.body: List[str] = []
+        self.ns: dict = {"MASK64": MASK64}
+        self.need: set = set()
+        self.pending = 0
+        self._obj_names: dict = {}
+
+    # -- code accumulation ------------------------------------------------
+
+    def line(self, text: str, depth: int = 0) -> None:
+        self.body.append("    " * (3 + depth) + text)
+
+    def bump(self) -> None:
+        """One uop's ``seq``/``total_uops`` advance (folded until used)."""
+        self.pending += 1
+
+    def flush(self, depth: int = 0) -> None:
+        """Materialize pending ``seq`` increments.
+
+        Must run before any emitted code that reads ``seq`` or that can
+        raise a ``CapabilityException`` — the unwind path publishes the
+        local back to ``machine._seq`` and must see the same value the
+        interpreted path would.
+        """
+        if self.pending:
+            self.line(f"seq += {self.pending}", depth)
+            self.pending = 0
+
+    def const(self, obj, prefix: str) -> str:
+        """Bind ``obj`` into the function's namespace; returns its name."""
+        key = id(obj)
+        name = self._obj_names.get(key)
+        if name is None:
+            name = f"{prefix}{len(self._obj_names)}"
+            self._obj_names[key] = name
+            self.ns[name] = obj
+        return name
+
+
+# -- expression builders ----------------------------------------------------
+
+
+def _ea_expr(mem) -> str:
+    """Effective-address expression (same sum as ``_effective_address``)."""
+    parts = []
+    if mem.base is not None:
+        parts.append(f"regs[{int(mem.base)}]")
+    if mem.index is not None:
+        term = f"regs[{int(mem.index)}]"
+        if mem.scale != 1:
+            term = f"{term} * {mem.scale}"
+        parts.append(term)
+    if mem.disp or not parts:
+        parts.append(str(mem.disp))
+    return "(" + " + ".join(parts) + ") & MASK64"
+
+
+def _emit_current_pid(e: _Emitter, reg: int, out: str, depth: int = 0) -> None:
+    """Inline ``tracker.current_pid(reg)`` into local ``out``."""
+    e.need.add("tags")
+    e.line(f"_t = tags[{reg}]; _tr = _t.transient", depth)
+    e.line(f"{out} = _tr[-1][1] if _tr else _t.committed", depth)
+
+
+def _emit_set_pid(e: _Emitter, dst: int, pid_expr: str, depth: int = 0) -> None:
+    """Inline ``tracker.set_pid(dst, pid, seq)`` plus the stats triage
+    that ``tracker.apply`` performs after a tag write."""
+    e.flush(depth)
+    e.need.update(("tags", "dirty", "tstats"))
+    e.line(f"tags[{dst}].transient.append((seq, {pid_expr}))", depth)
+    e.line(f"dirty.add({dst})", depth)
+    if pid_expr == "0":
+        e.line("tstats.zeroed += 1", depth)
+    elif pid_expr == str(WILD_PID):
+        e.line("tstats.wild_assignments += 1", depth)
+    else:
+        e.line(f"if {pid_expr} == {WILD_PID}:", depth)
+        e.line("tstats.wild_assignments += 1", depth + 1)
+        e.line(f"elif {pid_expr}:", depth)
+        e.line("tstats.transfers += 1", depth + 1)
+        e.line("else:", depth)
+        e.line("tstats.zeroed += 1", depth + 1)
+
+
+def _policy_of(machine, uop: Uop) -> Propagation:
+    rules = machine.tracker.rules
+    rule = rules.lookup(uop)
+    return rule.propagation if rule else rules.default_propagation
+
+
+def _emit_apply(e: _Emitter, machine, uop: Uop) -> None:
+    """Inline ``tracker.apply(uop, seq)`` for a register-destination uop.
+
+    Memory policies never reach here for LIMM/MOV/LEA/ALU — their
+    handlers discard ``apply``'s MEMORY_POLICY sentinel, which performs
+    no tag write, so the residual code is empty.
+    """
+    policy = _policy_of(machine, uop)
+    if policy in _MEMORY_POLICIES or uop.dst is None:
+        return
+    if policy is Propagation.ZERO:
+        _emit_set_pid(e, uop.dst, "0")
+        return
+    if policy is Propagation.WILD:
+        _emit_set_pid(e, uop.dst, str(WILD_PID))
+        return
+    srcs = uop.srcs
+    if policy is Propagation.COPY_SRC or policy is Propagation.FIRST_SRC:
+        if not srcs:
+            _emit_set_pid(e, uop.dst, "0")
+            return
+        _emit_current_pid(e, srcs[0], "_pid")
+        _emit_set_pid(e, uop.dst, "_pid")
+        return
+    if policy is Propagation.NONZERO_SRC:
+        if not srcs:
+            _emit_set_pid(e, uop.dst, "0")
+            return
+        if len(srcs) == 1:
+            # second == 0 statically: apply() resolves to the first
+            # source's PID for every first-PID value.
+            _emit_current_pid(e, srcs[0], "_pid")
+            _emit_set_pid(e, uop.dst, "_pid")
+            return
+        _emit_current_pid(e, srcs[0], "_p1")
+        _emit_current_pid(e, srcs[1], "_p2")
+        e.line("if _p1 == 0:")
+        e.line("_pid = _p2", 1)
+        e.line(f"elif _p2 == 0 or _p1 != {WILD_PID}:")
+        e.line("_pid = _p1", 1)
+        e.line("else:")
+        e.line("_pid = _p2", 1)
+        _emit_set_pid(e, uop.dst, "_pid")
+        return
+    if policy is Propagation.BASE_REG:
+        mem = uop.mem
+        if mem is None or mem.base is None:
+            _emit_set_pid(e, uop.dst, "0")
+            return
+        _emit_current_pid(e, int(mem.base), "_pid")
+        _emit_set_pid(e, uop.dst, "_pid")
+        return
+    raise _Unsupported(f"propagation policy {policy}")
+
+
+# -- check-injection sites --------------------------------------------------
+
+
+def _emit_capcheck_body(e: _Emitter, machine, check: Uop, pc: int,
+                        depth: int) -> None:
+    """Inline ``_exec_capcheck`` for an injected check template.
+
+    ``base_pid`` and ``address`` are live locals; the tracer is known to
+    be detached (the superblock entry guard refuses replay otherwise),
+    and ``check.pid`` is not stamped — the inline body consumes the PID
+    directly and nothing else reads the template's field.
+    """
+    e.need.update(("shadow_access", "schedule", "capcache_access",
+                   "captable_check", "ipids_add"))
+    lat = machine._capcheck_latency
+    miss_lat = lat + machine._captable_latency
+    rr = check.reg_reads()
+    write = bool(check.check_write)
+    e.line("if base_pid == 0:", depth)
+    e.line(f"shadow_access({lat}, 8)", depth + 1)
+    e.line(f"schedule({rr!r}, None, {lat}, 4, False, False, {lat})",
+           depth + 1)
+    e.line("else:", depth)
+    e.line("if capcache_access(base_pid):", depth + 1)
+    e.line(f"schedule({rr!r}, None, {lat}, 4, False, False, {lat})",
+           depth + 2)
+    e.line("else:", depth + 1)
+    e.line(f"shadow_access({miss_lat}, {CAPABILITY_BYTES})", depth + 2)
+    e.line(f"schedule({rr!r}, None, {miss_lat}, 4, False, False, {lat})",
+           depth + 2)
+    e.line(f"_v = captable_check(base_pid, address, 8, {write})", depth + 1)
+    e.line("if _v is not None:", depth + 1)
+    e.line(f"m._flag(_v, {pc})", depth + 2)
+    e.line("elif base_pid > 0:", depth + 1)
+    e.line("ipids_add(base_pid)", depth + 2)
+
+
+def _emit_check_site(e: _Emitter, machine, entry, pc: int) -> bool:
+    """Emit the front-end check decision for one entry.
+
+    Returns True when the live local ``address`` holds the uop's
+    effective address afterwards (the mem emitters then reuse it — the
+    check template shares the uop's ``Mem`` operand, and no register
+    writes intervene, so one computation is exact for both).
+    """
+    _handler, uop, base_reg, mode, check = entry
+    if not mode:
+        return False
+    e.need.add("mstats")
+    if check is not None:
+        # Injection site: CHECK_INJECT fires always, *_IF_PID defers to
+        # the live base-register tag (the prediction-driven policy).
+        e.flush()
+        if base_reg >= 0:
+            _emit_current_pid(e, base_reg, "base_pid")
+        else:
+            e.line("base_pid = 0")
+        e.line(f"address = {_ea_expr(uop.mem)}")
+        if mode == CHECK_INJECT:
+            e.line("mstats.injected_uops += 1")
+            e.line("mstats.capchecks += 1")
+            e.line("seq += 1")
+            _emit_capcheck_body(e, machine, check, pc, depth=0)
+        elif mode == CHECK_INJECT_IF_PID:
+            if base_reg < 0:
+                return True  # base_pid statically 0: never injects
+            e.line("if base_pid:")
+            e.line("mstats.injected_uops += 1", 1)
+            e.line("mstats.capchecks += 1", 1)
+            e.line("seq += 1", 1)
+            _emit_capcheck_body(e, machine, check, pc, depth=1)
+        else:  # pragma: no cover - static_check_plan never builds this
+            raise _Unsupported(f"check mode {mode} with template")
+        return True
+    if mode == CHECK_SUPPRESS:
+        e.line("mstats.capchecks_suppressed_context += 1")
+    elif mode == CHECK_SUPPRESS_IF_PID:
+        if base_reg >= 0:
+            _emit_current_pid(e, base_reg, "base_pid")
+            e.line("if base_pid:")
+            e.line("mstats.capchecks_suppressed_context += 1", 1)
+    else:  # pragma: no cover - exhaustive over CHECK_* constants
+        raise _Unsupported(f"check mode {mode} without template")
+    return False
+
+
+# -- per-kind uop emitters --------------------------------------------------
+
+
+def _emit_alu(e: _Emitter, machine, uop: Uop) -> None:
+    alu = uop.alu
+    srcs = uop.srcs
+    imm = uop.imm
+    e.bump()
+    if srcs:
+        e.line(f"a = regs[{srcs[0]}]")
+        if len(srcs) > 1:
+            e.line(f"b = regs[{srcs[1]}]")
+        elif imm is not None:
+            e.line(f"b = {imm & MASK64}")
+        else:
+            e.line("b = 0")
+    elif imm is not None:
+        e.line(f"a = {imm & MASK64}")
+        e.line("b = 0")
+    else:
+        e.line("a = 0")
+        e.line("b = 0")
+
+    carry_expr = "0"
+    overflow = False
+    if alu is AluOp.ADD:
+        e.line("_tot = a + b")
+        e.line("result = _tot & MASK64")
+        carry_expr = "4 if _tot > MASK64 else 0"
+        overflow = True
+        ov_test = ("_sa == ((b >> 63) & 1) and "
+                   "((result >> 63) & 1) != _sa")
+    elif alu is AluOp.SUB or alu is AluOp.CMP:
+        e.line("result = (a - b) & MASK64")
+        carry_expr = "4 if a < b else 0"
+        overflow = True
+        ov_test = ("_sa != ((b >> 63) & 1) and "
+                   "((result >> 63) & 1) != _sa")
+    elif alu is AluOp.AND or alu is AluOp.TEST:
+        e.line("result = a & b")
+    elif alu is AluOp.OR:
+        e.line("result = a | b")
+    elif alu is AluOp.XOR:
+        e.line("result = a ^ b")
+    elif alu is AluOp.MUL:
+        e.line("result = (a * b) & MASK64")
+    elif alu is AluOp.SHL:
+        e.line("result = (a << (b & 63)) & MASK64")
+    elif alu is AluOp.SHR:
+        e.line("result = a >> (b & 63)")
+    elif alu is AluOp.NEG:
+        e.line("result = (-a) & MASK64")
+        carry_expr = "4 if a != 0 else 0"
+    elif alu is AluOp.NOT:
+        e.line("result = (~a) & MASK64")
+    else:  # pragma: no cover - exhaustive over AluOp
+        raise _Unsupported(f"ALU op {alu}")
+
+    writeback = alu not in (AluOp.CMP, AluOp.TEST) and uop.dst is not None
+    if writeback:
+        e.line(f"regs[{uop.dst}] = result")
+    if uop.writes_flags:
+        e.line("_bits = 1 if result == 0 else (2 if result >> 63 else 0)")
+        if carry_expr != "0":
+            e.line(f"_bits |= {carry_expr}")
+        if overflow:
+            e.line("_sa = (a >> 63) & 1")
+            e.line(f"if {ov_test}:")
+            e.line("_bits |= 8", 1)
+        e.line("m.flags = _FLAGS[_bits]")
+        e.ns["_FLAGS"] = _FLAG_VALUES
+    if machine._tracks:
+        _emit_apply(e, machine, uop)
+    if alu is AluOp.MUL:
+        e.need.add("schedule")
+        e.line(f"schedule({srcs!r}, {uop.dst!r}, 3, 1, "
+               f"{bool(uop.reads_flags)}, {bool(uop.writes_flags)})")
+    else:
+        e.need.add("schedule1")
+        e.line(f"schedule1({srcs!r}, {uop.dst!r}, "
+               f"{bool(uop.reads_flags)}, {bool(uop.writes_flags)})")
+
+
+def _emit_limm(e: _Emitter, machine, uop: Uop) -> None:
+    e.bump()
+    e.line(f"regs[{uop.dst}] = {uop.imm & MASK64}")
+    if machine._tracks:
+        _emit_apply(e, machine, uop)
+    e.need.add("schedule1")
+    e.line(f"schedule1((), {uop.dst})")
+
+
+def _emit_mov(e: _Emitter, machine, uop: Uop) -> None:
+    e.bump()
+    e.line(f"regs[{uop.dst}] = regs[{uop.srcs[0]}]")
+    if machine._tracks:
+        _emit_apply(e, machine, uop)
+    e.need.add("schedule1")
+    e.line(f"schedule1({uop.srcs!r}, {uop.dst})")
+
+
+def _emit_lea(e: _Emitter, machine, uop: Uop) -> None:
+    e.bump()
+    e.line(f"regs[{uop.dst}] = {_ea_expr(uop.mem)}")
+    if machine._tracks:
+        _emit_apply(e, machine, uop)
+    e.need.add("schedule1")
+    e.line(f"schedule1({uop.reg_reads()!r}, {uop.dst})")
+
+
+def _emit_nop(e: _Emitter, machine, uop: Uop) -> None:
+    e.bump()
+    e.need.add("schedule1")
+    e.line("schedule1((), None)")
+
+
+def _emit_zero_idiom(e: _Emitter, machine, uop: Uop) -> None:
+    e.bump()  # squashed at the instruction queue: seq advances, no work
+
+
+def _emit_tlb(e: _Emitter, machine) -> None:
+    """Inline ``m.tlb.access(address)`` (dtlb hit path; misses call the
+    refill continuation).  The dtlb key is the page — ``line_shift`` is 0
+    and there is no victim array, so a set miss is a genuine miss."""
+    e.need.update(("tlb_sets", "tlbc_stats", "tlb_stats", "tlb_refill"))
+    num_sets = machine.tlb._cache.num_sets
+    e.line(f"_pn = address >> {PAGE_SHIFT}")
+    e.line(f"_ts = tlb_sets[_pn % {num_sets}]")
+    e.line("if _pn in _ts:")
+    e.line("_ts.move_to_end(_pn)", 1)
+    e.line("tlbc_stats.hits += 1", 1)
+    e.line("tlb_stats.hits += 1", 1)
+    e.line("else:")
+    e.line("tlb_refill(address)", 1)
+
+
+def _emit_l1d(e: _Emitter, machine, out: Optional[str]) -> None:
+    """Inline the L1d hit probe of ``timing.mem_access``; the hit latency
+    lands in local ``out`` (None discards it — the store shape)."""
+    e.need.update(("l1d_sets", "l1d_stats", "mem_miss"))
+    l1 = machine.timing.l1d
+    e.line(f"_ln = address >> {l1.line_shift}")
+    e.line(f"_ds = l1d_sets[_ln % {l1.num_sets}]")
+    e.line("if _ln in _ds:")
+    e.line("_ds.move_to_end(_ln)", 1)
+    e.line("l1d_stats.hits += 1", 1)
+    if out is not None:
+        e.line(f"{out} = {machine.timing._l1_latency}", 1)
+        e.line("else:")
+        e.line(f"{out} = mem_miss(address)", 1)
+    else:
+        e.line("else:")
+        e.line("mem_miss(address)", 1)
+
+
+def _emit_resolve_reload(e: _Emitter, machine, uop: Uop, pc: int) -> None:
+    """Inline ``machine._resolve_reload`` for a memory-policy load.
+
+    Locals ``_wa``, ``done``, and ``seq`` (flushed by the caller) are
+    live; the tracer is known detached (superblock entry guard), so its
+    emit calls vanish.  The PNA0 recovery's ghost check uop reduces to
+    its counter effects — the interpreted path allocates a throwaway
+    ``Uop`` only to demote it, which is pure stats.
+    """
+    e.need.update(("predict_ex", "pred_update", "sb_forward",
+                   "atable_peek", "acache_install", "acache_lookup",
+                   "tlb_hosts", "shadow_access", "occupy", "atable",
+                   "tags", "dirty"))
+    walk = machine._walk_latency
+    e.line(f"predicted, _bl = predict_ex({pc})")
+    e.line("_fwd = sb_forward(_wa)")
+    e.line("if _fwd is not None:")
+    e.line("actual = _fwd", 1)
+    e.line("elif _bl:")
+    e.line("actual = atable_peek(_wa)", 1)
+    e.line("if actual:", 1)
+    e.line(f"shadow_access({walk}, 16)", 2)
+    e.line(f"occupy(5, done, {walk})", 2)
+    e.line("acache_install(_wa, actual)", 2)
+    e.line("elif tlb_hosts(_wa):")
+    e.line("actual, _h = acache_lookup(_wa, atable)", 1)
+    e.line("if not _h:", 1)
+    e.line(f"shadow_access({walk}, 16)", 2)
+    e.line(f"occupy(5, done, {walk})", 2)
+    e.line("else:")
+    e.line("actual = 0", 1)
+    e.line(f"outcome = pred_update({pc}, predicted, actual)")
+    if machine._tracked_policy:
+        e.need.update(("redirect", "tracker", "sbuf", "mstats"))
+        e.ns["P0AN"] = MispredictKind.P0AN
+        e.ns["PNA0"] = MispredictKind.PNA0
+        e.line("if outcome == P0AN:")
+        e.line(f"redirect(done, {machine._flush_penalty}, alias=True)", 1)
+        e.line("tracker.squash(seq)", 1)
+        e.line("sbuf.squash_after(seq)", 1)
+        e.line("elif outcome == PNA0:")
+        e.line("mstats.injected_uops += 1", 1)
+        e.line("mstats.zero_idioms += 1", 1)
+        e.line("m.total_uops += 1", 1)
+    e.line("if m.trace_reloads and actual > 0:")
+    e.line(f"m.reload_trace.append(({pc}, actual))", 1)
+    # tracker.set_pid (no stats triage on this path)
+    e.line(f"tags[{uop.dst}].transient.append((seq, actual))")
+    e.line(f"dirty.add({uop.dst})")
+
+
+def _emit_load(e: _Emitter, machine, uop: Uop, pc: int,
+               have_address: bool) -> None:
+    e.bump()
+    e.need.update(("mem_stats", "mem_pages", "t_stats", "schedule"))
+    if not have_address:
+        e.line(f"address = {_ea_expr(uop.mem)}")
+    e.line("_wa = address & ~7")
+    # Inlined read_word: _wa is 8-byte aligned by construction, and an
+    # unmapped page reads as zero.
+    e.line("mem_stats.reads += 1")
+    e.line("mem_stats.bytes_read += 8")
+    e.line(f"_pg = mem_pages.get(_wa >> {PAGE_SHIFT})")
+    e.line(f"regs[{uop.dst}] = "
+           f"_pg[(_wa & {PAGE_SIZE - 1}) >> 3] if _pg is not None else 0")
+    _emit_tlb(e, machine)
+    e.line("t_stats.loads += 1")
+    _emit_l1d(e, machine, "_mlat")
+    lsu_extra = f" + {machine._lsu_latency}" if machine._lsu else ""
+    e.line(f"done = schedule({uop.reg_reads()!r}, {uop.dst}, "
+           f"_mlat{lsu_extra}, 2)")
+    if machine._tracks:
+        policy = _policy_of(machine, uop)
+        if policy in _MEMORY_POLICIES:
+            e.flush()
+            _emit_resolve_reload(e, machine, uop, pc)
+        else:
+            _emit_apply(e, machine, uop)
+    if machine._lsu:
+        e.flush()
+        uname = e.const(uop, "U")
+        e.line(f"m._lsu_check({uname}, address, False, {pc})")
+
+
+def _emit_store(e: _Emitter, machine, uop: Uop, pc: int,
+                have_address: bool) -> None:
+    e.bump()
+    e.need.update(("mem_stats", "mem_pages", "new_page", "t_stats",
+                   "schedule"))
+    if not have_address:
+        e.line(f"address = {_ea_expr(uop.mem)}")
+    e.line("_wa = address & ~7")
+    data = f"regs[{uop.srcs[0]}]" if uop.srcs else str(uop.imm & MASK64)
+    # Inlined write_word: _wa is aligned by construction, and register
+    # values are invariantly 64-bit masked (every writeback masks).
+    e.line("mem_stats.writes += 1")
+    e.line("mem_stats.bytes_written += 8")
+    e.line(f"_pg = mem_pages.get(_wa >> {PAGE_SHIFT})")
+    e.line("if _pg is None:")
+    e.line(f"_pg = new_page(_wa >> {PAGE_SHIFT})", 1)
+    e.line(f"_pg[(_wa & {PAGE_SIZE - 1}) >> 3] = {data}")
+    _emit_tlb(e, machine)
+    e.line("t_stats.stores += 1")
+    _emit_l1d(e, machine, None)
+    latency = 1 + (machine._lsu_latency if machine._lsu else 0)
+    e.line(f"schedule({uop.reg_reads()!r}, None, {latency}, 3)")
+    if machine._tracks:
+        policy = _policy_of(machine, uop)
+        if policy in _MEMORY_POLICIES:
+            e.flush()
+            e.need.add("sbuf")
+            if uop.srcs:
+                _emit_current_pid(e, uop.srcs[0], "_spid")
+                e.line(f"if _spid == {WILD_PID}:")
+                e.line("_spid = 0", 1)
+                e.line("sbuf.record(seq, _wa, _spid)")
+            else:
+                e.line("sbuf.record(seq, _wa, 0)")
+        # A register-policy store has no destination tag: apply() is a
+        # no-op, so no residual code.
+    if machine._lsu:
+        e.flush()
+        uname = e.const(uop, "U")
+        e.line(f"m._lsu_check({uname}, address, True, {pc})")
+
+
+def _emit_br(e: _Emitter, machine, uop: Uop, pc: int, fallthrough: int) -> None:
+    cond = _COND_EXPRS.get(uop.cond)
+    if cond is None:
+        raise _Unsupported(f"branch condition {uop.cond!r}")
+    e.bump()
+    e.flush()  # the squash path consumes seq
+    e.need.update(("schedule1", "resolve_cond", "taken_branch", "redirect"))
+    e.line(f"done = schedule1({uop.srcs!r}, None, True)")
+    e.line("_f = m.flags._value_")
+    e.line(f"taken = {cond}")
+    e.line(f"if resolve_cond({pc}, taken):")
+    e.line("if taken:", 1)
+    e.line("taken_branch()", 2)
+    e.line(f"next_rip = {uop.target}", 2)
+    e.line("else:", 1)
+    e.line(f"next_rip = {fallthrough}", 2)
+    e.line("else:")
+    e.line(f"redirect(done, {machine._br_penalty})", 1)
+    if machine._tracks:
+        e.need.update(("tracker", "sbuf"))
+        e.line("tracker.squash(seq)", 1)
+        e.line("sbuf.squash_after(seq)", 1)
+    e.line(f"next_rip = {uop.target} if taken else {fallthrough}", 1)
+
+
+def _emit_jmp(e: _Emitter, machine, uop: Uop, pc: int) -> None:
+    e.bump()
+    e.need.update(("schedule1", "taken_branch"))
+    e.line(f"schedule1({uop.srcs!r}, None)")
+    instrs = machine.program.instrs
+    mi = uop.macro_index
+    if 0 <= mi < len(instrs) and instrs[mi].op is Op.CALL:
+        e.need.add("on_call")
+        e.line(f"on_call({pc + INSTR_SLOT})")
+    e.line("taken_branch()")
+    e.line(f"next_rip = {uop.target}")
+
+
+def _emit_jmp_ind(e: _Emitter, machine, uop: Uop, pc: int) -> None:
+    e.bump()
+    e.flush()  # the squash path consumes seq
+    e.need.update(("schedule1", "resolve_ind", "taken_branch", "redirect"))
+    e.line(f"done = schedule1({uop.srcs!r}, None)")
+    e.line(f"next_rip = regs[{uop.srcs[0]}]")
+    instrs = machine.program.instrs
+    mi = uop.macro_index
+    is_ret = 0 <= mi < len(instrs) and instrs[mi].op is Op.RET
+    e.line(f"if resolve_ind({pc}, next_rip, is_return={is_ret}):")
+    e.line("taken_branch()", 1)
+    e.line("else:")
+    e.line(f"redirect(done, {machine._br_penalty})", 1)
+    if machine._tracks:
+        e.need.update(("tracker", "sbuf"))
+        e.line("tracker.squash(seq)", 1)
+        e.line("sbuf.squash_after(seq)", 1)
+
+
+def _emit_generic(e: _Emitter, entry, pc: int) -> None:
+    """Plain handler call for kinds without a specialized emitter
+    (host escapes, native capability uops).  None of these redirect
+    fetch or set ``halted``, so the result is discarded."""
+    handler, uop = entry[0], entry[1]
+    e.bump()
+    e.flush()  # handlers consume seq and may raise
+    hname = e.const(handler, "H")
+    uname = e.const(uop, "U")
+    e.line(f"{hname}({uname}, {pc}, seq)")
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def _emit_member_commit(e: _Emitter, machine, retired_count: int) -> None:
+    """The per-member commit epilogue: tracker tag finalization and the
+    store-buffer drain into the alias structures, then the retire mark."""
+    e.flush()
+    if machine._tracks:
+        e.need.update(("dirty", "tcommit", "tstats", "pending_q", "sbuf",
+                       "atable", "acache", "tlb_mark", "sys_bcast"))
+        e.line("if dirty:")
+        e.line("tcommit(seq)", 1)
+        e.line("else:")
+        e.line("tstats.commits += 1", 1)
+        e.line("if pending_q:")
+        e.line("for _a, _p in sbuf.commit_upto(seq, atable, acache):", 1)
+        e.line("if _p:", 2)
+        e.line("tlb_mark(_a)", 3)
+        e.line(f"sys_bcast(_a, {machine.core_id})", 2)
+    e.line(f"retired = {retired_count}")
+
+
+def compile_replay(machine, sb) -> Optional[object]:
+    """Compile ``sb`` into a specialized replay function, or ``None``.
+
+    The returned callable has the same contract as
+    ``Chex86Machine._step_superblock``: called under ``run_quantum``'s
+    entry guard, it replays the whole superblock, returns the number of
+    members retired, and unwinds a trapping ``CapabilityException`` with
+    the completed prefix retired and ``rip`` at the trapping member.
+
+    Refuses (returns ``None``) when a checker co-processor is attached:
+    rule lookups are folded into the generated code, which is only sound
+    while the rule database cannot learn mid-run.
+    """
+    if machine.checker is not None:
+        return None
+    try:
+        e = _Emitter()
+        e.need.add("regs")  # effective addresses / operands — always used
+        members = sb.members
+        last = len(members) - 1
+        fetch_width = machine.timing._fetch_width
+        for k, (pc, slots, line, entries, fallthrough) in enumerate(members):
+            e.line(f"# -- member {k}: pc={pc:#x}")
+            # Inlined fetch_block: group packing as two compares on the
+            # precomputed slot count, icache only on a changed line.
+            e.need.update(("timing", "t_stats", "fetch_line"))
+            e.line(f"_gu = timing._group_used + {slots}")
+            e.line(f"if _gu > {fetch_width}:")
+            e.line("timing._fetch_cycle += 1", 1)
+            e.line(f"timing._group_used = {slots}", 1)
+            e.line("t_stats.fetch_groups += 1", 1)
+            e.line("else:")
+            e.line("timing._group_used = _gu", 1)
+            e.line(f"if timing._last_iline != {line}:")
+            e.line(f"fetch_line({line})", 1)
+            for entry in entries:
+                uop = entry[1]
+                kind = uop.kind
+                have_address = _emit_check_site(e, machine, entry, pc)
+                if kind is UopKind.ALU:
+                    _emit_alu(e, machine, uop)
+                elif kind is UopKind.LD:
+                    _emit_load(e, machine, uop, pc, have_address)
+                elif kind is UopKind.ST:
+                    _emit_store(e, machine, uop, pc, have_address)
+                elif kind is UopKind.MOV:
+                    _emit_mov(e, machine, uop)
+                elif kind is UopKind.LIMM:
+                    _emit_limm(e, machine, uop)
+                elif kind is UopKind.LEA:
+                    _emit_lea(e, machine, uop)
+                elif kind is UopKind.NOP:
+                    _emit_nop(e, machine, uop)
+                elif kind is UopKind.ZERO_IDIOM:
+                    _emit_zero_idiom(e, machine, uop)
+                elif kind is UopKind.HALT:
+                    e.bump()
+                    e.line("m.halted = True")
+                    _emit_member_commit(e, machine, k + 1)
+                    e.line(f"next_rip = {fallthrough}")
+                    e.line("break")
+                    break  # trailing entries never execute once halted
+                elif kind is UopKind.BR:
+                    if k != last:
+                        raise _Unsupported("control uop before last member")
+                    _emit_br(e, machine, uop, pc, fallthrough)
+                elif kind is UopKind.JMP:
+                    if k != last:
+                        raise _Unsupported("control uop before last member")
+                    _emit_jmp(e, machine, uop, pc)
+                elif kind is UopKind.JMP_IND:
+                    if k != last:
+                        raise _Unsupported("control uop before last member")
+                    _emit_jmp_ind(e, machine, uop, pc)
+                else:
+                    _emit_generic(e, entry, pc)
+            else:
+                _emit_member_commit(e, machine, k + 1)
+                if k == last and not any(
+                        entry[1].kind in (UopKind.BR, UopKind.JMP,
+                                          UopKind.JMP_IND)
+                        for entry in entries):
+                    e.line(f"next_rip = {fallthrough}")
+    except _Unsupported:
+        return None
+
+    ns = e.ns
+    ns["SB"] = sb
+    ns["PCS"] = tuple(member[0] for member in members)
+    ns["CapEx"] = CapabilityException
+    if e.need & {"schedule", "schedule1", "t_stats", "fetch_line",
+                 "mem_access", "shadow_access", "taken_branch", "redirect",
+                 "l1d_sets", "l1d_stats", "mem_miss", "occupy"}:
+        e.need.add("timing")
+    prologue = [code for name, code in _PROLOGUE if name in e.need]
+    src = "\n".join(
+        ["def _replay(m):"]
+        + ["    " + code for code in prologue]
+        + [
+            "    seq = m._seq",
+            "    _seq0 = seq",
+            "    retired = 0",
+            "    try:",
+            "        while True:",
+        ]
+        + e.body
+        + [
+            "            break",
+            "    except CapEx:",
+            "        m._superblock_bailouts += 1",
+            "        m._retire_members(SB, retired, retired + 1)",
+            "        m.rip = PCS[retired]",
+            "        raise",
+            "    finally:",
+            "        m._seq = seq",
+            "        m.total_uops += seq - _seq0",
+            "    m._retire_members(SB, retired, retired)",
+            "    m.rip = next_rip",
+            "    return retired",
+        ]
+    )
+    code = _CODE_CACHE.get(src)
+    if code is None:
+        code = compile(src, f"<superblock {sb.entry:#x}>", "exec")
+        _CODE_CACHE[src] = code
+    exec(code, ns)
+    replay = ns["_replay"]
+    replay.source = src  # introspection/debugging hook
+    return replay

@@ -27,11 +27,12 @@ Design rules (why this is not a naive ``pickle(machine)``):
 * **Shared-object aliasing.**  System-owned state (memory, allocator,
   capability/alias tables, L2, the alias-hosting page set that the TLB
   aliases) is mutated in place for the same reason.
-* **Decoded blocks are dropped.**  ``DecodedBlock`` entries carry bound
-  execute handlers; the restored machine recompiles blocks lazily.  The
-  compile *count* is restored, and re-decoding records no decode stats
-  (the per-dynamic-instance accounting lives in ``step()``), so nothing
-  is double-charged.
+* **Decoded blocks and superblocks are dropped.**  ``DecodedBlock`` and
+  ``Superblock`` entries carry bound execute handlers; the restored
+  machine recompiles both lazily.  The compile *counts* are restored,
+  and re-decoding records no decode stats (the per-dynamic-instance
+  accounting lives in ``step()``/``_retire_members``), so nothing is
+  double-charged.
 
 Not captured (a :class:`SnapshotError` is raised where silence would be a
 lie): multicore systems, attached event tracers, the checker
@@ -60,7 +61,9 @@ from ..isa.registers import Flag
 from .violations import ViolationLog
 
 #: Bumped whenever the snapshot layout changes incompatibly.
-SNAPSHOT_SCHEMA = 1
+#: v2: superblock fast-path counters (superblocks_compiled,
+#: superblock_instructions, superblock_bailouts, fallback_instructions).
+SNAPSHOT_SCHEMA = 2
 
 
 class SnapshotError(Exception):
@@ -203,9 +206,14 @@ def capture(machine) -> Dict[str, object]:
         "bbv_vectors": [dict(v) for v in machine.bbv_vectors],
         "bbv_current": dict(machine._bbv_current),
         "trace_limit": machine.trace_limit,
-        # Fast-path metadata (blocks themselves are recompiled lazily).
+        # Fast-path metadata (blocks and superblocks themselves are
+        # recompiled lazily).
         "block_cache_enabled": machine.block_cache_enabled,
         "blocks_compiled": machine._blocks_compiled,
+        "superblocks_compiled": machine._superblocks_compiled,
+        "superblock_instructions": machine._superblock_instructions,
+        "superblock_bailouts": machine._superblock_bailouts,
+        "fallback_instructions": machine._fallback_instructions,
         # Quantum-metrics bookkeeping (plain snapshot dicts).
         "quantum_metrics": machine._quantum_metrics,
         "quantum_base": (dict(machine._quantum_base)
@@ -373,7 +381,14 @@ def _apply_state(machine, state: Dict[str, object]) -> None:
 
     machine.block_cache_enabled = state["block_cache_enabled"]
     machine._blocks_compiled = state["blocks_compiled"]
-    machine._blocks.clear()  # recompiled lazily against the new program
+    machine._superblocks_compiled = state["superblocks_compiled"]
+    machine._superblock_instructions = state["superblock_instructions"]
+    machine._superblock_bailouts = state["superblock_bailouts"]
+    machine._fallback_instructions = state["fallback_instructions"]
+    # Recompiled lazily against the new program: DecodedBlock entries and
+    # superblock member tables carry bound execute handlers.
+    machine._blocks.clear()
+    machine._superblocks.clear()
 
     machine._quantum_metrics = state["quantum_metrics"]
     machine._quantum_base = (dict(state["quantum_base"])
@@ -394,6 +409,7 @@ def _apply_state(machine, state: Dict[str, object]) -> None:
             entry.ctr = ctr
             entry.useful = useful
     cond._history = saved["history"]
+    cond._refold()
     # In place: FrontEndPredictors.stats aliases cond.stats.
     _assign(cond.stats, saved["stats"])
     _restore_cache(machine.predictors.btb, saved["btb"])

@@ -183,22 +183,27 @@ class SpeculativePointerTracker:
         if not dirty:
             return
         tags = self._tags
-        clean = []
+        # Common case at end-of-instruction commit: every transient is old
+        # enough, every tag drains wholesale, and the dirty set empties —
+        # tracked via ``partial`` staying None so no per-commit list is
+        # allocated.
+        partial = None
         for reg in dirty:
             tag = tags[reg]
             transient = tag.transient
             if transient[-1][0] <= seq:
-                # Common case at end-of-instruction commit: every transient
-                # is old enough, so the youngest graduates and the vector
-                # drains wholesale.
                 tag.committed = transient[-1][1]
                 transient.clear()
-                clean.append(reg)
             else:
                 tag.commit_upto(seq)
-                if not transient:
-                    clean.append(reg)
-        dirty.difference_update(clean)
+                if transient:
+                    if partial is None:
+                        partial = [reg]
+                    else:
+                        partial.append(reg)
+        dirty.clear()
+        if partial is not None:
+            dirty.update(partial)
 
     def squash(self, seq: int) -> None:
         """Misprediction recovery: discard transient state younger than

@@ -93,7 +93,7 @@ CONTROL_FLOW = COND_BRANCHES | {Op.JMP, Op.CALL, Op.RET}
 INSTR_SLOT = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instr:
     """A single macro instruction.
 

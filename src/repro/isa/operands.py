@@ -26,7 +26,7 @@ class Imm:
         return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mem:
     """A memory operand: effective address ``base + index*scale + disp``.
 

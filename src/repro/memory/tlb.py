@@ -47,16 +47,41 @@ class Tlb:
         self.stats = TlbStats()
 
     def access(self, address: int) -> bool:
-        """Translate ``address``; returns TLB hit?"""
+        """Translate ``address``; returns TLB hit?
+
+        The hit path is inlined against the backing cache (the dtlb is
+        built with ``line_shift=0`` and no victim array, so the key *is*
+        the line): one dict probe and an LRU touch, with the page-table
+        ``_hosting`` probe deferred to the refill path that consumes it.
+        """
         page = address >> PAGE_SHIFT
-        hit = self._cache.access(page, page in self._hosting)
-        if hit:
+        cache = self._cache
+        set_ = cache._sets[page % cache.num_sets]
+        if page in set_:
+            set_.move_to_end(page)
+            cache.stats.hits += 1
             self.stats.hits += 1
-        else:
-            self.stats.misses += 1
-            # Refill picks up the current page-table alias-hosting bit.
-            self._cache.update(page, page in self._hosting)
-        return hit
+            return True
+        cache.stats.misses += 1
+        # Refill picks up the current page-table alias-hosting bit.
+        cache._install(set_, page, page in self._hosting)
+        self.stats.misses += 1
+        return False
+
+    def refill(self, address: int) -> None:
+        """Miss continuation for an externally inlined hit probe.
+
+        The superblock trace compiler inlines the hit path of
+        :meth:`access` (one dict probe + LRU touch) and calls this when
+        the probe failed; counter for counter it completes exactly what
+        :meth:`access` would have done on the same miss.
+        """
+        page = address >> PAGE_SHIFT
+        cache = self._cache
+        cache.stats.misses += 1
+        cache._install(cache._sets[page % cache.num_sets], page,
+                       page in self._hosting)
+        self.stats.misses += 1
 
     def mark_alias_hosting(self, address: int) -> None:
         """A spilled pointer was stored into this page (set the bit)."""

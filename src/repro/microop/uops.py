@@ -101,7 +101,7 @@ CAPABILITY_KINDS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class Uop:
     """One micro-op.
 

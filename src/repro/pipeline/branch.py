@@ -59,7 +59,21 @@ class LTagePredictor:
             for _ in _HISTORIES
         ]
         self._history = 0
+        # Folded-history cache, one (index, tag) fold per component;
+        # refreshed whenever ``_history`` changes.
+        self._folded_idx = [0] * len(_HISTORIES)
+        self._folded_tag = [0] * len(_HISTORIES)
         self.stats = BranchStats()
+
+    def _refold(self) -> None:
+        """Recompute the folded-history cache after ``_history`` changed."""
+        history = self._history
+        folded_idx = self._folded_idx
+        folded_tag = self._folded_tag
+        for level, mask in enumerate(_HISTORY_MASKS):
+            masked = history & mask
+            folded_idx[level] = _fold(masked, _TABLE_BITS)
+            folded_tag[level] = _fold(masked, _TAG_BITS)
 
     # -- prediction -------------------------------------------------------------
 
@@ -94,16 +108,27 @@ class LTagePredictor:
         if not correct:
             self._allocate(pc, taken, provider_level)
         self._history = ((self._history << 1) | int(taken)) & ((1 << 64) - 1)
+        self._refold()
         return correct
 
     # -- internals -----------------------------------------------------------------
 
     def _find_provider(self, pc: int) -> Tuple[Optional[Tuple[int, _TaggedEntry]], int]:
-        """Longest-history tagged component hitting on ``pc``."""
+        """Longest-history tagged component hitting on ``pc``.
+
+        Uses the per-level folded-history cache (maintained by
+        :meth:`update` when the history shifts) instead of re-folding the
+        history for every level probed.
+        """
+        folded_idx = self._folded_idx
+        folded_tag = self._folded_tag
+        pc2 = pc >> 2
+        tag_base = pc2 ^ (pc >> 12)
+        tables = self._tables
         for level in range(len(_HISTORIES) - 1, -1, -1):
-            index, tag = self._index_tag(pc, level)
-            entry = self._tables[level][index]
-            if entry.tag == tag:
+            index = (pc2 ^ folded_idx[level]) & _TABLE_MASK
+            entry = tables[level][index]
+            if entry.tag == (tag_base ^ folded_tag[level]) & _TAG_MASK:
                 return (index, entry), level
         return None, -1
 

@@ -49,6 +49,11 @@ _FLAGS = NUM_UREGS
 _RING_SIZE = 1 << 16
 _RING_MASK = _RING_SIZE - 1
 
+#: Module-level copies of the two FuType indices ``schedule`` compares
+#: against per micro-op (a global load beats a class-attribute load).
+_FU_LOAD = 2   # FuType.LOAD
+_FU_STORE = 3  # FuType.STORE
+
 
 class FuType:
     """Functional unit classes (Table III), as dense pool indices."""
@@ -242,6 +247,63 @@ class TimingModel:
                     self._fetch_cycle += self._mem_latency
                     stats.dram_bytes += self._line_bytes
 
+    def fetch_block(self, slots: int, line: int) -> None:
+        """Per-member fetch accounting for superblock replay.
+
+        The fetch-group and icache work of :meth:`begin_macro` with the
+        slot count (MSROM widening applied) and icache line precomputed
+        at superblock-compile time, and *without* the ``macro_ops`` bump
+        — the executor charges that as one batched delta per replay via
+        :meth:`commit_macros`.  Must stay interleaved per member: ROB
+        backpressure in :meth:`schedule` moves ``_fetch_cycle`` between
+        members, and icache refills share the L2 (and its LRU state)
+        with data misses.
+        """
+        stats = self.stats
+        if self._group_used + slots > self._fetch_width:
+            self._fetch_cycle += 1
+            self._group_used = slots
+            stats.fetch_groups += 1
+        else:
+            self._group_used += slots
+        if line != self._last_iline:
+            self._last_iline = line
+            if not self.l1i.access(line):
+                stats.icache_misses += 1
+                if self.l2.access(line):
+                    self._fetch_cycle += self._l2_latency
+                else:
+                    self._fetch_cycle += self._mem_latency
+                    stats.dram_bytes += self._line_bytes
+
+    def fetch_line(self, line: int) -> None:
+        """Icache half of :meth:`fetch_block` for a changed line.
+
+        The superblock trace compiler inlines the fetch-group half (two
+        compares on precomputed slot counts) and only calls out when the
+        member starts a new icache line — the refill path, which shares
+        the L2 (and its LRU state) with data misses and so must stay a
+        real access in program order.
+        """
+        self._last_iline = line
+        if not self.l1i.access(line):
+            self.stats.icache_misses += 1
+            if self.l2.access(line):
+                self._fetch_cycle += self._l2_latency
+            else:
+                self._fetch_cycle += self._mem_latency
+                self.stats.dram_bytes += self._line_bytes
+
+    def commit_macros(self, count: int) -> None:
+        """Batched ``macro_ops`` charge for ``count`` replayed members.
+
+        Deferring the per-instruction counter to one add per superblock
+        is exact because nothing reads ``macro_ops`` mid-run — it only
+        feeds end-of-run summaries and metric snapshots, which are taken
+        at quantum boundaries.
+        """
+        self.stats.macro_ops += count
+
     # -- memory hierarchy ----------------------------------------------------------
 
     def mem_access(self, address: int, is_store: bool) -> int:
@@ -255,8 +317,37 @@ class TimingModel:
             stats.stores += 1
         else:
             stats.loads += 1
-        if self.l1d.access(address):
+        # L1d probe inlined (the L1d carries no victim array, so a set
+        # miss is a genuine miss); the L2 and DRAM legs stay calls.
+        l1 = self.l1d
+        line = address >> l1.line_shift
+        set_ = l1._sets[line % l1.num_sets]
+        if line in set_:
+            set_.move_to_end(line)
+            l1.stats.hits += 1
             return self._l1_latency
+        l1.stats.misses += 1
+        l1._install(set_, line, True)
+        stats.l1d_misses += 1
+        if self.l2.access(address):
+            return self._l1_latency + self._l2_latency
+        stats.l2_misses += 1
+        stats.dram_bytes += self._line_bytes
+        return self._l1_latency + self._l2_latency + self._mem_latency
+
+    def mem_access_miss(self, address: int) -> int:
+        """L1d-miss leg of :meth:`mem_access` for an inlined hit probe.
+
+        The superblock trace compiler inlines the L1d hit path (and the
+        loads/stores counter) and calls this when the probe failed; the
+        install, miss counters, and L2/DRAM legs are identical to
+        :meth:`mem_access` on the same miss.
+        """
+        stats = self.stats
+        l1 = self.l1d
+        line = address >> l1.line_shift
+        l1.stats.misses += 1
+        l1._install(l1._sets[line % l1.num_sets], line, True)
         stats.l1d_misses += 1
         if self.l2.access(address):
             return self._l1_latency + self._l2_latency
@@ -284,12 +375,21 @@ class TimingModel:
         writes_flags: bool = False,
         occupancy: int = 1,
     ) -> int:
-        """Schedule one micro-op; returns its completion cycle."""
+        """Schedule one micro-op; returns its completion cycle.
+
+        This is the hottest function in the repository (once per
+        simulated micro-op), so the pool-reserve and commit-slot helpers
+        are inlined and every attribute that is read more than once is
+        hoisted into a local.  The scheduling algorithm is identical to
+        the helper-based form, cycle for cycle.
+        """
         stats = self.stats
         stats.uops += 1
         stats.fu_uops[fu] += 1
         rob = self._rob
-        dispatch = self._fetch_cycle + self._decode_depth
+        fetch_cycle = self._fetch_cycle
+        decode_depth = self._decode_depth
+        dispatch = fetch_cycle + decode_depth
         if len(rob) >= self._rob_entries:
             oldest = rob.popleft()
             if oldest > dispatch:
@@ -298,12 +398,12 @@ class TimingModel:
                 # Dispatch backpressure stalls fetch too: the front end can
                 # only run one ROB's worth of work ahead of commit, which
                 # bounds the wrong-path window a squash can waste.
-                stalled_fetch = dispatch - self._decode_depth
-                if stalled_fetch > self._fetch_cycle:
+                stalled_fetch = dispatch - decode_depth
+                if stalled_fetch > fetch_cycle:
                     self._fetch_cycle = stalled_fetch
-        if fu == FuType.LOAD:
+        if fu == _FU_LOAD:
             queue, limit = self._lq, self._lq_entries
-        elif fu == FuType.STORE:
+        elif fu == _FU_STORE:
             queue, limit = self._sq, self._sq_entries
         else:
             queue = None
@@ -322,9 +422,19 @@ class TimingModel:
                 ready = src_ready
         if reads_flags and reg_ready[_FLAGS] > ready:
             ready = reg_ready[_FLAGS]
-        # Issue: reserve a functional unit, then find a cycle with a free
-        # issue slot, walking the ring forward from the unit's start cycle.
-        cycle = self._pools[fu].reserve(ready, occupancy)
+        # Issue: reserve a functional unit (inlined _FuPool.reserve), then
+        # find a cycle with a free issue slot, walking the ring forward
+        # from the unit's start cycle.
+        pool = self._pools[fu]
+        if pool._single:
+            free = pool._free
+            cycle = ready if ready > free else free
+            pool._free = cycle + occupancy
+        else:
+            free = pool._free
+            earliest = free[0]
+            cycle = ready if ready > earliest else earliest
+            heapreplace(free, cycle + occupancy)
         tags, counts = self._issue_tags, self._issue_counts
         width = self._issue_width
         while True:
@@ -342,10 +452,113 @@ class TimingModel:
             reg_ready[dst] = done
         if writes_flags:
             reg_ready[_FLAGS] = done
-        commit = self._commit_slot(done)
+        # Commit: find the in-order commit slot (inlined _commit_slot).
+        commit = self._last_commit
+        if done > commit:
+            commit = done
+        tags, counts = self._commit_tags, self._commit_counts
+        width = self._commit_width
+        while True:
+            slot = commit & _RING_MASK
+            if tags[slot] != commit:
+                tags[slot] = commit
+                counts[slot] = 1
+                break
+            if counts[slot] < width:
+                counts[slot] += 1
+                break
+            commit += 1
         rob.append(commit)
         if queue is not None:
             queue.append(commit)
+        if commit > self._last_commit:
+            self._last_commit = commit
+        return done
+
+    def schedule_simple(
+        self,
+        srcs: Tuple[int, ...],
+        dst: Optional[int],
+        reads_flags: bool = False,
+        writes_flags: bool = False,
+    ) -> int:
+        """:meth:`schedule` specialized for the single-cycle ALU shape.
+
+        Behaviorally identical — cycle for cycle and counter for counter
+        — to ``schedule(srcs, dst, 1, FuType.ALU, reads_flags,
+        writes_flags)``; the load/store-queue interaction (never taken
+        for the ALU class) and the latency/occupancy generality are
+        compiled out.  The superblock trace compiler emits this for ALU,
+        MOV, LIMM, LEA, NOP, and branch uops, which dominate the dynamic
+        mix; any change to :meth:`schedule`'s algorithm must be mirrored
+        here.
+        """
+        stats = self.stats
+        stats.uops += 1
+        stats.fu_uops[0] += 1
+        rob = self._rob
+        fetch_cycle = self._fetch_cycle
+        decode_depth = self._decode_depth
+        dispatch = fetch_cycle + decode_depth
+        if len(rob) >= self._rob_entries:
+            oldest = rob.popleft()
+            if oldest > dispatch:
+                dispatch = oldest
+                stats.rob_stall_events += 1
+                stalled_fetch = dispatch - decode_depth
+                if stalled_fetch > fetch_cycle:
+                    self._fetch_cycle = stalled_fetch
+        ready = dispatch
+        reg_ready = self._reg_ready
+        for src in srcs:
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        if reads_flags and reg_ready[_FLAGS] > ready:
+            ready = reg_ready[_FLAGS]
+        pool = self._pools[0]
+        if pool._single:
+            free = pool._free
+            cycle = ready if ready > free else free
+            pool._free = cycle + 1
+        else:
+            free = pool._free
+            earliest = free[0]
+            cycle = ready if ready > earliest else earliest
+            heapreplace(free, cycle + 1)
+        tags, counts = self._issue_tags, self._issue_counts
+        width = self._issue_width
+        while True:
+            slot = cycle & _RING_MASK
+            if tags[slot] != cycle:
+                tags[slot] = cycle
+                counts[slot] = 1
+                break
+            if counts[slot] < width:
+                counts[slot] += 1
+                break
+            cycle += 1
+        done = cycle + 1
+        if dst is not None:
+            reg_ready[dst] = done
+        if writes_flags:
+            reg_ready[_FLAGS] = done
+        commit = self._last_commit
+        if done > commit:
+            commit = done
+        tags, counts = self._commit_tags, self._commit_counts
+        width = self._commit_width
+        while True:
+            slot = commit & _RING_MASK
+            if tags[slot] != commit:
+                tags[slot] = commit
+                counts[slot] = 1
+                break
+            if counts[slot] < width:
+                counts[slot] += 1
+                break
+            commit += 1
+        rob.append(commit)
         if commit > self._last_commit:
             self._last_commit = commit
         return done

@@ -1,14 +1,21 @@
-"""Differential fuzz sweep: decoded-block fast path vs forced slow path.
+"""Differential fuzz sweep: slow path vs decoded-block fast path vs
+superblock replay.
 
-The decoded-block fast path (compile a pc's front-end product once,
-replay it on every later visit) is a pure performance transform — it
-must never change what executes.  The oracle: run the same seeded random
-mini-x86 program twice, once with the block cache enabled (fast path)
-and once with ``block_cache_enabled = False`` (every dynamic instruction
-recompiles — the slow path), and require identical architectural state,
-violation sets, and stats snapshots.  The only permitted difference is
-``frontend.blocks_compiled`` (the compile *count* is what the fast path
-exists to reduce).
+The front-end caches are pure performance transforms — they must never
+change what executes.  The oracle: run the same seeded random mini-x86
+program under all three execution modes —
+
+* ``block_cache_enabled = False`` — every dynamic instruction recompiles
+  (the slow path),
+* ``block_cache_enabled = BLOCK_CACHE_BLOCKS`` — per-instruction decoded
+  block replay,
+* ``block_cache_enabled = True`` — superblock chains replayed with one
+  dispatch per chain (the default),
+
+and require identical architectural state, violation sets, and stats
+snapshots.  The only permitted difference is the ``frontend.*`` counter
+family (compile counts, superblock coverage): those *measure* the caches
+and necessarily differ between modes.
 
 The same generator doubles as a transparency oracle across all four
 protected variants: a well-behaved program must flag no violations and
@@ -20,6 +27,7 @@ import random
 import pytest
 
 from repro.core import Chex86Machine, Variant
+from repro.core.machine import BLOCK_CACHE_BLOCKS
 from repro.heap import heap_library_asm
 from repro.isa import Reg, assemble
 
@@ -29,6 +37,10 @@ PTR_REGS = ("r11", "r12")
 
 VARIANTS = (Variant.HW_ONLY, Variant.BINARY_TRANSLATION,
             Variant.UCODE_ALWAYS_ON, Variant.UCODE_PREDICTION)
+
+#: The three execution modes under differential test.
+MODES = (False, BLOCK_CACHE_BLOCKS, True)
+MODE_IDS = ("slow", "blocks", "superblock")
 
 BUDGET = 20_000
 N_PROGRAMS = 50
@@ -93,70 +105,156 @@ def architectural_state(machine: Chex86Machine):
     return regs, heap_words
 
 
-def run_machine(program, variant, *, slow: bool, trap: bool = False):
+def run_machine(program, variant, mode, *, trap: bool = False,
+                trace_limit: int = 0, bbv_interval: int = 0):
     machine = Chex86Machine(program, variant=variant,
                             halt_on_violation=trap)
-    if slow:
-        machine.block_cache_enabled = False
+    machine.block_cache_enabled = mode
+    if trace_limit:
+        machine.trace_limit = trace_limit
+    if bbv_interval:
+        machine.bbv_interval = bbv_interval
     result = machine.run(max_instructions=BUDGET)
     return machine, result
 
 
-def comparable_phase_counters(machine: Chex86Machine):
+def strip_frontend(mapping: dict) -> dict:
+    """Drop the ``frontend.*`` family: compile counts and superblock
+    coverage measure the caches themselves and differ by mode."""
+    return {key: value for key, value in mapping.items()
+            if not key.startswith("frontend.")}
+
+
+def comparable_metrics(machine: Chex86Machine) -> dict:
+    return strip_frontend(machine.metrics_snapshot())
+
+
+def comparable_phase_counters(machine: Chex86Machine) -> dict:
+    return strip_frontend(machine.phase_counters())
+
+
+def assert_superblock_identity(machine: Chex86Machine) -> None:
+    """Every retired instruction is either superblock-replayed or stepped:
+    the two frontend meters partition the commit count exactly."""
     counters = machine.phase_counters()
-    # The compile count is the one number the fast path exists to change.
-    counters.pop("frontend.blocks_compiled")
-    return counters
+    assert (counters["frontend.superblock_instructions"]
+            + counters["frontend.fallback_instructions"]
+            == machine.instructions)
 
 
-class TestFastVsSlowPath:
-    """Fast path vs forced slow path: bit-for-bit the same execution."""
+class TestThreeWayDifferential:
+    """Slow vs decoded-block vs superblock: bit-for-bit the same run."""
 
     @pytest.mark.parametrize("seed", range(N_PROGRAMS))
     def test_well_behaved_program(self, seed):
         program = assemble(generate_program(seed), name=f"fuzz{seed}")
         variant = VARIANTS[seed % len(VARIANTS)]
-        fast, fast_result = run_machine(program, variant, slow=False)
-        slow, slow_result = run_machine(program, variant, slow=True)
+        reference, reference_result = run_machine(program, variant, False)
+        assert reference_result.halted
+        reference_violations = [str(v)
+                                for v in reference.violations.violations]
+        assert reference_violations == []
 
-        assert fast_result.halted and slow_result.halted
-        assert fast_result.instructions == slow_result.instructions
-        assert fast_result.cycles == slow_result.cycles
-        assert fast_result.uops == slow_result.uops
-        assert architectural_state(fast) == architectural_state(slow), (
-            f"seed {seed} ({variant.value}): architectural state diverged")
-        # Violation sets: both empty for a well-behaved program, and
-        # compared structurally so a false positive on either path fails.
-        fast_violations = [str(v) for v in fast.violations.violations]
-        slow_violations = [str(v) for v in slow.violations.violations]
-        assert fast_violations == slow_violations == []
-        # Full stats snapshots: every registered metric agrees.
-        assert fast.metrics_snapshot() == slow.metrics_snapshot()
-        assert comparable_phase_counters(fast) == \
-            comparable_phase_counters(slow)
-        # The fast path compiled strictly less than it executed; the
-        # forced slow path compiled once per dynamic instruction.
-        assert fast._blocks_compiled <= fast.instructions
-        assert slow._blocks_compiled == slow.instructions
+        for mode, mode_id in zip(MODES[1:], MODE_IDS[1:]):
+            machine, result = run_machine(program, variant, mode)
+            label = f"seed {seed} ({variant.value}, {mode_id})"
+            assert result.halted, f"{label}: did not halt"
+            assert result.instructions == reference_result.instructions
+            assert result.cycles == reference_result.cycles
+            assert result.uops == reference_result.uops
+            assert architectural_state(machine) \
+                == architectural_state(reference), (
+                    f"{label}: architectural state diverged")
+            violations = [str(v) for v in machine.violations.violations]
+            assert violations == reference_violations
+            # Full stats snapshots: every registered metric outside the
+            # frontend.* family agrees, and the human summary renders
+            # identically.
+            assert comparable_metrics(machine) \
+                == comparable_metrics(reference), f"{label}: metrics"
+            assert comparable_phase_counters(machine) \
+                == comparable_phase_counters(reference)
+            assert machine.stats_summary() == reference.stats_summary()
+            if mode is True:
+                assert_superblock_identity(machine)
+
+        # The slow path compiled once per dynamic instruction.
+        assert reference._blocks_compiled == reference.instructions
 
     @pytest.mark.parametrize("seed", range(8))
     def test_violating_program_flags_identically(self, seed):
-        """An appended OOB store must produce the *same* violation set
-        on both paths (trapping, so post-violation state is defined)."""
+        """An appended OOB store must produce the *same* violation set in
+        all three modes (trapping, so post-violation state is defined).
+        Under superblock replay the store usually traps mid-chain,
+        exercising the partial-retire unwind path."""
         source = generate_program(seed).replace(
             "    halt\n",
             f"    mov [r12 + {(seed % 4 + 1) * 128}], rax\n    halt\n", 1)
         program = assemble(source, name=f"fuzz-oob{seed}")
         variant = VARIANTS[seed % len(VARIANTS)]
-        fast, fast_result = run_machine(program, variant, slow=False,
-                                        trap=True)
-        slow, slow_result = run_machine(program, variant, slow=True,
-                                        trap=True)
-        assert fast_result.flagged and slow_result.flagged
-        assert [str(v) for v in fast.violations.violations] \
-            == [str(v) for v in slow.violations.violations]
-        assert fast_result.instructions == slow_result.instructions
-        assert architectural_state(fast) == architectural_state(slow)
+        reference, reference_result = run_machine(program, variant, False,
+                                                  trap=True)
+        assert reference_result.flagged
+        for mode, mode_id in zip(MODES[1:], MODE_IDS[1:]):
+            machine, result = run_machine(program, variant, mode, trap=True)
+            assert result.flagged, f"seed {seed} ({mode_id}): not flagged"
+            assert [str(v) for v in machine.violations.violations] \
+                == [str(v) for v in reference.violations.violations]
+            assert result.instructions == reference_result.instructions
+            assert result.cycles == reference_result.cycles
+            assert architectural_state(machine) \
+                == architectural_state(reference)
+            assert comparable_metrics(machine) \
+                == comparable_metrics(reference)
+
+
+class TestObservationBoundaries:
+    """Trace and BBV windows whose boundaries land *inside* hot chains:
+    the budget-aware entry guard must fall back to per-instruction
+    stepping exactly at the boundary, keeping the recorded artifacts
+    bit-identical across modes."""
+
+    @pytest.mark.parametrize("seed", (0, 7, 21, 33))
+    def test_trace_limit_boundary(self, seed):
+        program = assemble(generate_program(seed), name=f"fuzz{seed}")
+        variant = VARIANTS[seed % len(VARIANTS)]
+        limit = 17  # odd on purpose: lands mid-superblock
+        reference, _ = run_machine(program, variant, False,
+                                   trace_limit=limit)
+        expected = reference.format_trace()
+        assert len(reference.execution_trace) == limit
+        for mode, mode_id in zip(MODES[1:], MODE_IDS[1:]):
+            machine, _ = run_machine(program, variant, mode,
+                                     trace_limit=limit)
+            assert machine.format_trace() == expected, (
+                f"seed {seed} ({mode_id}): trace diverged")
+            assert architectural_state(machine) \
+                == architectural_state(reference)
+
+    @pytest.mark.parametrize("seed", (3, 12, 26, 41))
+    def test_bbv_interval_boundary(self, seed):
+        program = assemble(generate_program(seed), name=f"fuzz{seed}")
+        variant = VARIANTS[seed % len(VARIANTS)]
+        interval = 13  # prime: every superblock eventually straddles it
+        reference, _ = run_machine(program, variant, False,
+                                   bbv_interval=interval)
+        for mode, mode_id in zip(MODES[1:], MODE_IDS[1:]):
+            machine, _ = run_machine(program, variant, mode,
+                                     bbv_interval=interval)
+            assert machine.bbv_vectors == reference.bbv_vectors, (
+                f"seed {seed} ({mode_id}): BBV vectors diverged")
+            assert machine._bbv_current == reference._bbv_current
+
+    @pytest.mark.parametrize("seed", (4, 18))
+    def test_superblocks_cover_loops(self, seed):
+        """Loopy programs actually exercise the superblock path (guards
+        the other assertions against silently testing nothing)."""
+        program = assemble(generate_program(seed), name=f"fuzz{seed}")
+        machine, result = run_machine(program, VARIANTS[seed % 4], True)
+        counters = machine.phase_counters()
+        assert counters["frontend.superblocks_compiled"] > 0
+        assert counters["frontend.superblock_instructions"] > 0
+        assert_superblock_identity(machine)
 
 
 class TestTransparencyOracle:
@@ -167,12 +265,11 @@ class TestTransparencyOracle:
     def test_variants_match_insecure_baseline(self, seed):
         program = assemble(generate_program(seed), name=f"fuzz{seed}")
         reference, reference_result = run_machine(program, Variant.INSECURE,
-                                                  slow=False)
+                                                  True)
         assert reference_result.halted
         expected = architectural_state(reference)
         for variant in VARIANTS:
-            machine, result = run_machine(program, variant, slow=False,
-                                          trap=True)
+            machine, result = run_machine(program, variant, True, trap=True)
             assert result.halted, f"{variant.value}: did not finish"
             assert not result.flagged, (
                 f"{variant.value}: false positive "

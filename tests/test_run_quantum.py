@@ -145,3 +145,107 @@ loop:
         assert first.instructions == second.instructions
         assert first.cycles == second.cycles
         assert first.uops == second.uops
+
+
+HOT_LOOP = """
+    mov rdi, 64
+    call malloc
+    mov r12, rax
+    mov rax, 0
+    mov rcx, 50
+loop:
+    add rax, 3
+    mov [r12 + 8], rax
+    mov rbx, [r12 + 8]
+    sub rcx, 1
+    jne loop
+"""
+
+
+class TestSuperblockFastPath:
+    """Budget-aware superblock entry in ``run_quantum``."""
+
+    def test_superblocks_form_and_attach_compiled_replay(self):
+        machine = _machine(HOT_LOOP)
+        machine.run_quantum(200_000)
+        formed = [sb for sb in machine._superblocks.values()
+                  if sb is not None]
+        assert formed, "hot loop formed no superblocks"
+        assert any(sb.length > 1 for sb in formed)
+        # The trace compiler attached a specialized replay function.
+        assert any(sb.replay is not None for sb in formed)
+        counters = machine.phase_counters()
+        assert counters["frontend.superblocks_compiled"] == len(formed)
+        assert counters["frontend.superblock_instructions"] > 0
+
+    def test_commit_meters_partition_instructions(self):
+        """superblock_instructions + fallback_instructions is exactly the
+        retired-instruction count — no member double-counted or lost."""
+        machine = _machine(HOT_LOOP)
+        machine.run_quantum(200_000)
+        counters = machine.phase_counters()
+        assert (counters["frontend.superblock_instructions"]
+                + counters["frontend.fallback_instructions"]
+                == machine.instructions)
+
+    def test_small_budget_bails_out_but_stays_exact(self):
+        """A budget smaller than the hot chain forces per-instruction
+        fallback at every entry; slicing must not change what executes."""
+        sliced = _machine(HOT_LOOP)
+        total = 0
+        while not sliced.halted:
+            total += sliced.run_quantum(2)
+        whole = _machine(HOT_LOOP)
+        whole_count = whole.run_quantum(200_000)
+        assert total == whole_count
+        assert sliced.regs[Reg.RAX] == whole.regs[Reg.RAX]
+        assert sliced.timing.finish().cycles == whole.timing.finish().cycles
+        counters = sliced.phase_counters()
+        assert counters["frontend.superblock_bailouts"] > 0
+        assert (counters["frontend.superblock_instructions"]
+                + counters["frontend.fallback_instructions"]
+                == sliced.instructions)
+
+    def test_active_trace_forces_fallback(self):
+        """While the execution trace is recording, superblock replay is
+        skipped (the trace needs per-instruction hooks); coverage shows
+        it."""
+        traced = _machine(HOT_LOOP)
+        traced.trace_limit = 1_000_000  # never fills: trace stays active
+        traced.run_quantum(200_000)
+        assert traced.phase_counters()[
+            "frontend.superblock_instructions"] == 0
+        plain = _machine(HOT_LOOP)
+        plain.run_quantum(200_000)
+        assert traced.instructions == plain.instructions
+        assert traced.regs[Reg.RAX] == plain.regs[Reg.RAX]
+        assert traced.timing.finish().cycles == plain.timing.finish().cycles
+
+    def test_checker_machine_declines_compiled_replay(self):
+        """With the hardware checker attached the rule database can learn
+        mid-run, so folding rule decisions into generated code is
+        unsound; superblocks still form but replay interpreted."""
+        machine = _machine(HOT_LOOP, enable_checker=True)
+        machine.run_quantum(200_000)
+        formed = [sb for sb in machine._superblocks.values()
+                  if sb is not None]
+        assert formed
+        assert all(sb.replay is None for sb in formed)
+        assert machine.phase_counters()[
+            "frontend.superblock_instructions"] > 0
+
+    def test_knob_accepts_three_settings(self):
+        from repro.core.machine import BLOCK_CACHE_BLOCKS
+
+        results = {}
+        for mode in (False, BLOCK_CACHE_BLOCKS, True):
+            machine = _machine(HOT_LOOP)
+            machine.block_cache_enabled = mode
+            machine.run_quantum(200_000)
+            results[mode] = (machine.regs[Reg.RAX], machine.instructions,
+                             machine.timing.finish().cycles,
+                             machine.total_uops)
+            if mode is not True:
+                assert machine.phase_counters()[
+                    "frontend.superblock_instructions"] == 0
+        assert results[False] == results[BLOCK_CACHE_BLOCKS] == results[True]
