@@ -27,6 +27,23 @@ Commands
 
         python -m repro trace prog.s --kind capcheck --pc 0x400010
 
+    ``FILE`` may also be a previously exported trace — a machine-ring
+    JSONL/Chrome export or a sweep-level merged trace from
+    ``figure/table/reproduce --trace-out`` — which is filtered and
+    re-exported instead of re-run.
+
+``status``
+    Show live (or resumable) sweep progress read from the journal under
+    the cell-cache directory — works from another terminal while a
+    sweep runs.
+
+``bench history``
+    Compare the committed ``BENCH_*.json`` performance records against
+    the checked-in baseline and print a trend table with a regression
+    verdict (``--check`` exits 1 for CI).
+
+``metrics diff A B``
+    Structured, tolerance-aware diff of two metrics exports.
 
 ``list``
     List benchmarks, variants, and exploit suites.
@@ -107,6 +124,21 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-k", type=int, default=None, metavar="K",
                         help="maximum number of simulation points per "
                              "workload (requires --simpoint; default: 8)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="trace the sweep: collect engine spans from "
+                             "the parent and every worker (plus machine "
+                             "capability events) and write one merged "
+                             "Chrome trace_event file (Perfetto-loadable)")
+    parser.add_argument("--trace-capacity", type=int, default=65536,
+                        metavar="N",
+                        help="per-process span buffer size for --trace-out "
+                             "(default: 65536; the parent spills to "
+                             "spans.jsonl under the cache directory)")
+    parser.add_argument("--trace-machine-capacity", type=int, default=4096,
+                        metavar="N",
+                        help="per-machine event ring shipped back with "
+                             "--trace-out; 0 disables machine events "
+                             "(default: 4096)")
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -176,16 +208,28 @@ def _validate_engine_args(args) -> None:
         raise CliError(f"--interval must be > 0, got {args.interval}")
     if args.max_k is not None and args.max_k <= 0:
         raise CliError(f"--max-k must be > 0, got {args.max_k}")
+    if args.trace_capacity < 1:
+        raise CliError(f"--trace-capacity must be >= 1, "
+                       f"got {args.trace_capacity}")
+    if args.trace_machine_capacity < 0:
+        raise CliError(f"--trace-machine-capacity must be >= 0, "
+                       f"got {args.trace_machine_capacity}")
 
 
 def _engine_from(args, echo) -> EvalEngine:
     _validate_engine_args(args)
+    trace = None
+    if args.trace_out:
+        from .telemetry.spans import TraceOptions
+
+        trace = TraceOptions(capacity=args.trace_capacity,
+                             machine_capacity=args.trace_machine_capacity)
     engine = EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir,
                         use_cache=not args.no_cache, echo=echo,
                         cell_timeout=args.cell_timeout,
                         max_retries=args.max_retries,
                         retry_backoff=args.retry_backoff,
-                        resume=args.resume)
+                        resume=args.resume, trace=trace)
     if not args.simpoint:
         return engine
     from .eval.sampling import (DEFAULT_INTERVAL, DEFAULT_MAX_K,
@@ -312,6 +356,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write profile.prof and a \"profile\" section "
                             "(phase counters, top functions) in summary.json")
 
+    status_p = sub.add_parser(
+        "status", help="show live/resumable sweep progress from the "
+                       "journal under the cell-cache directory")
+    status_p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                          help=f"cell cache directory to inspect "
+                               f"(default: {DEFAULT_CACHE_DIR})")
+    status_p.add_argument("--json", action="store_true",
+                          help="emit the status as JSON instead of text")
+    status_p.add_argument("--watch", type=float, default=None,
+                          metavar="SECONDS",
+                          help="refresh every SECONDS until interrupted")
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark-record tooling (perf-regression history)")
+    bench_p.add_argument("action", choices=("history",),
+                         help="history: compare committed BENCH_*.json "
+                              "records against the checked-in baseline")
+    bench_p.add_argument("--dir", default=".", metavar="DIR",
+                         help="directory holding the BENCH_*.json records "
+                              "(default: repo root)")
+    bench_p.add_argument("--baseline", default=None, metavar="FILE",
+                         help="hotloop baseline JSON (default: "
+                              "benchmarks/bench_hotloop_baseline.json "
+                              "under --dir)")
+    bench_p.add_argument("--max-regression", type=float, default=None,
+                         metavar="FRACTION",
+                         help="throughput-regression gate as a fraction "
+                              "(default: 0.30, matching CI's perf-smoke)")
+    bench_p.add_argument("--max-error", type=float, default=None,
+                         metavar="FRACTION",
+                         help="SimPoint worst-case relative-error gate "
+                              "(default: 0.10)")
+    bench_p.add_argument("--check", action="store_true",
+                         help="exit 1 if any metric regressed beyond its "
+                              "gate (for CI)")
+    bench_p.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of text")
+
+    met_p = sub.add_parser(
+        "metrics", help="metrics-export tooling (structured diffing)")
+    met_p.add_argument("action", choices=("diff",),
+                       help="diff: compare two metrics exports")
+    met_p.add_argument("files", nargs=2, metavar="FILE",
+                       help="two metrics files: --metrics-out snapshots, "
+                            "engine per-cell sidecars, or bare "
+                            "name->value JSON")
+    met_p.add_argument("--tolerance", type=float, default=0.0,
+                       metavar="T",
+                       help="allowed drift per changed metric: absolute "
+                            "for ratio-like metrics, relative otherwise "
+                            "(default: 0 = exact)")
+    met_p.add_argument("--json", action="store_true",
+                       help="emit the diff as JSON instead of text")
+
     sub.add_parser("list", help="list benchmarks, variants, suites")
     return parser
 
@@ -411,11 +509,20 @@ def _write_cell_sidecar(engine: EvalEngine, module, args,
     print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
 
 
+def _write_sweep_trace(engine, args, label: str) -> None:
+    document = engine.write_trace(args.trace_out, label=label)
+    print(f"trace: wrote {len(document['traceEvents'])} trace event(s) "
+          f"to {args.trace_out}", file=sys.stderr)
+
+
 def cmd_figure(args) -> int:
     module = _FIGURES[args.number]
     _validate_engine_args(args)
     if args.metrics_out and args.number not in _ENGINE_FIGURES:
         raise CliError(f"--metrics-out requires an engine-backed figure "
+                       f"({', '.join(sorted(_ENGINE_FIGURES))})")
+    if args.trace_out and args.number not in _ENGINE_FIGURES:
+        raise CliError(f"--trace-out requires an engine-backed figure "
                        f"({', '.join(sorted(_ENGINE_FIGURES))})")
     if args.number == "1":
         result = module.run()
@@ -424,6 +531,8 @@ def cmd_figure(args) -> int:
         result = module.run(scale=args.scale, engine=engine)
         if args.metrics_out:
             _write_cell_sidecar(engine, module, args, f"fig{args.number}")
+        if args.trace_out:
+            _write_sweep_trace(engine, args, f"fig{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -436,6 +545,9 @@ def cmd_table(args) -> int:
     if args.metrics_out and args.number not in _ENGINE_TABLES:
         raise CliError(f"--metrics-out requires an engine-backed table "
                        f"({', '.join(sorted(_ENGINE_TABLES))})")
+    if args.trace_out and args.number not in _ENGINE_TABLES:
+        raise CliError(f"--trace-out requires an engine-backed table "
+                       f"({', '.join(sorted(_ENGINE_TABLES))})")
     if args.number == "3":
         result = module.run()
     elif args.number in _ENGINE_TABLES:
@@ -443,6 +555,8 @@ def cmd_table(args) -> int:
         result = module.run(scale=args.scale, engine=engine)
         if args.metrics_out:
             _write_cell_sidecar(engine, module, args, f"table{args.number}")
+        if args.trace_out:
+            _write_sweep_trace(engine, args, f"table{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -455,6 +569,111 @@ def cmd_security(args) -> int:
     return 0 if result.all_flagged() else 1
 
 
+def _load_trace_events(path: str):
+    """Load ``path`` as a trace export if it looks like one.
+
+    Returns a list of :class:`TraceEvent` for (a) engine-produced merged
+    Chrome traces (``--trace-out`` on figure/table/reproduce — machine
+    events are recovered from their pid 1000+ swimlanes), (b)
+    machine-ring Chrome exports (``run --trace-format chrome``), and
+    (c) machine-ring JSONL exports.  Returns ``None`` when the file is
+    not JSON-shaped at all (an assembly program).  A ``.json``/
+    ``.jsonl`` file that fails to parse raises :class:`CliError` rather
+    than being fed to the assembler.
+    """
+    import json as json_mod
+    from pathlib import Path
+
+    from .telemetry import TraceEvent
+    from .telemetry.collate import load_chrome, machine_trace_events
+
+    explicit = Path(path).suffix.lower() in (".json", ".jsonl")
+    text = _read_program(path)
+    head = text.lstrip()[:1]
+    if not explicit and head not in ("{", "["):
+        return None
+
+    try:
+        document = json_mod.loads(text)
+    except ValueError:
+        document = None
+    if document is not None:
+        # Whole-file JSON: a Chrome trace_event document (merged sweep
+        # trace or machine-ring chrome export), possibly bare-array.
+        try:
+            return machine_trace_events(load_chrome(path))
+        except ValueError as error:
+            raise CliError(f"{path}: {error}") from error
+
+    # JSON lines: one machine event object per line (write_jsonl).
+    events = []
+    for number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json_mod.loads(line)
+        except ValueError as error:
+            if explicit:
+                raise CliError(f"{path}:{number}: not valid JSONL: "
+                               f"{error}") from error
+            return None
+        if not isinstance(record, dict) or "kind" not in record:
+            if explicit:
+                raise CliError(f"{path}:{number}: not a trace record "
+                               f"(missing \"kind\")")
+            return None
+        fields = {name: value for name, value in record.items()
+                  if name not in ("ts", "kind", "pc")}
+        pc = record.get("pc", 0)
+        if isinstance(pc, str):
+            pc = int(pc, 0)
+        events.append(TraceEvent(ts=int(record.get("ts", 0)),
+                                 kind=str(record["kind"]),
+                                 pc=int(pc), fields=fields))
+    return events
+
+
+def _inspect_trace_events(events, args) -> int:
+    """The shared filter/print/export tail of ``repro trace``."""
+    from pathlib import Path
+
+    if args.kind:
+        wanted = set(args.kind)
+        events = [event for event in events if event.kind in wanted]
+    if args.pc is not None:
+        events = [event for event in events if event.pc == args.pc]
+    shown = events if not args.limit else events[-args.limit:]
+    for event in shown:
+        print(event.format_text())
+    if len(shown) < len(events):
+        print(f"... showing last {len(shown)} of {len(events)} matching "
+              f"event(s); raise --limit for more", file=sys.stderr)
+
+    counts: dict = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    summary = ", ".join(f"{kind}={counts[kind]}" for kind in EVENT_KINDS
+                        if kind in counts) or "none"
+    print(f"events: {len(events)} loaded ({summary})", file=sys.stderr)
+
+    if args.out:
+        exporter = EventTracer(capacity=1)
+        if args.format == "chrome":
+            exporter.write_chrome(args.out,
+                                  process_name=Path(args.file).stem,
+                                  events=events)
+        elif args.format == "jsonl":
+            exporter.write_jsonl(args.out, events=events)
+        else:
+            Path(args.out).write_text(
+                "\n".join(event.format_text() for event in events)
+                + ("\n" if events else ""))
+        print(f"trace: wrote {len(events)} event(s) to {args.out}",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_trace(args) -> int:
     from pathlib import Path
 
@@ -462,6 +681,9 @@ def cmd_trace(args) -> int:
         raise CliError(f"--capacity must be >= 1, got {args.capacity}")
     if args.limit < 0:
         raise CliError(f"--limit must be >= 0, got {args.limit}")
+    loaded = _load_trace_events(args.file)
+    if loaded is not None:
+        return _inspect_trace_events(loaded, args)
     source = _read_program(args.file)
     if not args.no_heap_library and "malloc:" not in source:
         source += "\n" + heap_library_asm()
@@ -519,7 +741,78 @@ def cmd_reproduce(args) -> int:
     reproduce(out_dir=args.out, scale=args.scale,
               ripe_limit=args.ripe_limit, engine=engine,
               profile=args.profile)
+    if args.trace_out:
+        _write_sweep_trace(engine, args, "reproduce")
     return 0
+
+
+def cmd_status(args) -> int:
+    import json as json_mod
+    import time
+
+    from .eval.status import read_status
+
+    while True:
+        status = read_status(args.cache_dir)
+        if args.json:
+            print(json_mod.dumps(status.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(status.format_text())
+        if args.watch is None:
+            return 0
+        if args.watch <= 0:
+            raise CliError(f"--watch must be > 0, got {args.watch}")
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def cmd_bench(args) -> int:
+    import json as json_mod
+
+    from .analysis import benchtrack
+
+    if args.max_regression is not None and args.max_regression < 0:
+        raise CliError(f"--max-regression must be >= 0, "
+                       f"got {args.max_regression}")
+    if args.max_error is not None and args.max_error < 0:
+        raise CliError(f"--max-error must be >= 0, got {args.max_error}")
+    report = benchtrack.collect(
+        record_dir=args.dir, baseline_path=args.baseline,
+        max_regression=(args.max_regression
+                        if args.max_regression is not None
+                        else benchtrack.DEFAULT_MAX_REGRESSION),
+        max_error=(args.max_error if args.max_error is not None
+                   else benchtrack.DEFAULT_MAX_ERROR))
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    if args.check and report.regressions():
+        return 1
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json as json_mod
+
+    from .telemetry.diffs import diff_snapshots, load_metrics
+
+    if args.tolerance < 0:
+        raise CliError(f"--tolerance must be >= 0, got {args.tolerance}")
+    try:
+        a = load_metrics(args.files[0])
+        b = load_metrics(args.files[1])
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    diff = diff_snapshots(a, b, tolerance=args.tolerance)
+    if args.json:
+        print(json_mod.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.format_text())
+    return 0 if diff.clean else 1
 
 
 def cmd_list(_args) -> int:
@@ -542,6 +835,9 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "debug": cmd_debug,
         "reproduce": cmd_reproduce,
+        "status": cmd_status,
+        "bench": cmd_bench,
+        "metrics": cmd_metrics,
         "list": cmd_list,
     }[args.command]
     try:

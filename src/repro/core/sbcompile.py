@@ -50,6 +50,7 @@ from ..isa.instructions import INSTR_SLOT, Op
 from ..isa.registers import MASK64, _FLAG_VALUES
 from ..memory.memory import PAGE_SHIFT, PAGE_SIZE
 from ..microop.uops import AluOp, Uop, UopKind
+from ..telemetry import spans
 from .capability import CAPABILITY_BYTES, WILD_PID
 from .mcu import (
     CHECK_INJECT,
@@ -770,6 +771,12 @@ def compile_replay(machine, sb) -> Optional[object]:
     """
     if machine.checker is not None:
         return None
+    with spans.maybe("sbcompile.compile", category="core",
+                     entry=f"{sb.entry:#x}", members=len(sb.members)):
+        return _compile_replay(machine, sb)
+
+
+def _compile_replay(machine, sb) -> Optional[object]:
     try:
         e = _Emitter()
         e.need.add("regs")  # effective addresses / operands — always used

@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from ..isa.registers import Flag
+from ..telemetry import spans
 from .violations import ViolationLog
 
 #: Bumped whenever the snapshot layout changes incompatibly.
@@ -169,6 +170,12 @@ def capture(machine) -> Dict[str, object]:
     The tree shares no mutable structure with the machine — it stays
     valid even if the machine keeps running afterwards.
     """
+    with spans.maybe("snapshot.capture", category="core",
+                     instructions=machine.instructions):
+        return _capture(machine)
+
+
+def _capture(machine) -> Dict[str, object]:
     _check_snapshotable(machine)
     from .. import __version__
 
@@ -331,6 +338,11 @@ def restore(source: Union[bytes, Dict[str, object]]):
     The returned machine owns a fresh :class:`System` and continues the
     run exactly where the snapshot was taken.
     """
+    with spans.maybe("snapshot.restore", category="core"):
+        return _restore(source)
+
+
+def _restore(source: Union[bytes, Dict[str, object]]):
     if isinstance(source, (bytes, bytearray, memoryview)):
         tree = from_bytes(bytes(source))
     else:

@@ -19,6 +19,7 @@ from ..isa.assembler import assemble
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
 from ..pipeline.multicore import MulticoreMachine
 from ..sanitizer import sanitize
+from ..telemetry import spans
 from ..workloads.base import Workload
 
 Defense = Union[Variant, str]
@@ -215,6 +216,9 @@ def run_benchmark(workload: Workload, defense: Defense,
     program = assemble(workload.source, name=workload.name)
     machine = Chex86Machine(program, variant=defense, config=config,
                             halt_on_violation=False)
+    # No-op unless a traced sweep armed machine-event capture.
+    spans.attach_machine_tracer(
+        machine, f"{workload.name}/{defense_label(defense)}")
     result = machine.run(max_instructions=max_instructions)
     return _collect(workload, defense_label(defense), [machine],
                     machine.system, result, config)
@@ -240,6 +244,7 @@ def _run_asan(workload: Workload, config: CoreConfig,
                             config=config, system=system,
                             host_hooks=runtime.host_hooks(),
                             halt_on_violation=False)
+    spans.attach_machine_tracer(machine, f"{workload.name}/asan")
     result = machine.run(max_instructions=max_instructions)
     return _collect(workload, "asan", [machine], system, result, config)
 

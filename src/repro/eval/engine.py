@@ -57,6 +57,7 @@ import multiprocessing
 import os
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
 from multiprocessing import connection as mp_connection
 from pathlib import Path
@@ -67,7 +68,9 @@ from .. import __version__
 from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
 from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..telemetry import spans as spans_mod
 from ..telemetry.registry import METRICS_SCHEMA, MetricsRegistry
+from ..telemetry.spans import SPILL_FILENAME, SpanTracer, TraceOptions
 from .common import BenchmarkRun, IntervalRun, run_benchmark
 from .faults import FaultPlan
 
@@ -253,6 +256,8 @@ def compute_cell(spec: CellSpec):
         variant=_VARIANT_BY_LABEL.get(spec.defense,
                                       Variant.UCODE_PREDICTION),
         config=spec.config, halt_on_violation=False)
+    spans_mod.attach_machine_tracer(
+        machine, f"{spec.workload}/{spec.defense} patterns")
     machine.trace_reloads = True
     machine.run(max_instructions=spec.max_instructions)
     return profile_patterns(machine.reload_trace, spec.min_events)
@@ -274,6 +279,9 @@ def _replay_interval(spec: CellSpec):
             f"checkpoint {spec.checkpoint} content does not match the "
             f"cell's recorded digest; re-run the checkpoint pass")
     machine = Chex86Machine.restore(data)
+    spans_mod.attach_machine_tracer(
+        machine,
+        f"{spec.workload}/{spec.defense} interval {spec.interval_index}")
     base_metrics = machine.metrics_snapshot()
     base_phase = machine.phase_counters()
     base_instructions = machine.instructions
@@ -341,13 +349,22 @@ def _cell_worker(payload: Dict[str, object]) -> Tuple[Dict[str, object], int,
 
 
 def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
-                      conn) -> None:
+                      conn, trace: Optional[Dict[str, object]] = None) -> None:
     """Worker-process entry point under supervision.
 
     Sends ``("ok", outcome)`` or ``("error", message)`` back over the
     pipe; a crash (injected or real) sends nothing, which the supervisor
-    detects as EOF on the connection.
+    detects as EOF on the connection.  When the sweep is traced,
+    ``trace`` carries the buffer capacities and the ``ok`` message grows
+    a third element: the worker's span :meth:`~repro.telemetry.spans.
+    SpanTracer.shipment` (spans + machine event rings + clock anchor).
     """
+    tracer: Optional[SpanTracer] = None
+    if trace:
+        tracer = SpanTracer(
+            capacity=int(trace.get("capacity", 65536)),
+            process_label=f"worker:{trace.get('label', '?')}")
+        spans_mod.install(tracer, int(trace.get("machine_capacity", 0)))
     try:
         if fault == "crash":
             os._exit(CRASH_EXIT_STATUS)
@@ -356,7 +373,12 @@ def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
             raise RuntimeError("injected hang outlived the supervisor")
         if fault == "transient":
             raise RuntimeError("injected transient fault")
-        conn.send(("ok", _cell_worker(payload)))
+        if tracer is not None:
+            with tracer.span("worker.cell", cell=str(trace.get("label", ""))):
+                outcome = _cell_worker(payload)
+            conn.send(("ok", outcome, tracer.shipment()))
+        else:
+            conn.send(("ok", _cell_worker(payload)))
     except BaseException as exc:  # noqa: BLE001 — report, parent decides
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -418,8 +440,22 @@ class SweepJournal:
             "event": event,
             "key": spec.cache_key(),
             "label": spec.label,
+            "ts": round(time.time(), 3),
         }
         entry.update({k: v for k, v in extra.items() if v not in ("", None)})
+        self._write(entry)
+
+    def note(self, event: str, **extra: object) -> None:
+        """Journal a sweep-level event that names no particular cell
+        (e.g. ``batch``) — ``repro status`` reads these for totals."""
+        entry: Dict[str, object] = {
+            "event": event,
+            "ts": round(time.time(), 3),
+        }
+        entry.update({k: v for k, v in extra.items() if v not in ("", None)})
+        self._write(entry)
+
+    def _write(self, entry: Dict[str, object]) -> None:
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a") as handle:
@@ -492,6 +528,8 @@ class _Task:
     process: multiprocessing.Process
     conn: object                      # parent end of the result pipe
     deadline: Optional[float]         # monotonic, None = no timeout
+    lane: int = 0                     # trace swimlane (traced sweeps only)
+    span: object = None               # open engine.cell span handle
 
 
 class EvalEngine:
@@ -519,7 +557,8 @@ class EvalEngine:
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
                  resume: bool = False,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 trace: Optional[TraceOptions] = None) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache_dir = Path(cache_dir)
         self.use_cache = use_cache
@@ -541,6 +580,27 @@ class EvalEngine:
             else FaultPlan.from_env()
         self.stats = EngineStats()
         self._memo: Dict[CellSpec, object] = {}
+        # Sweep-scope tracing (docs/observability.md): a parent-side
+        # span tracer plus the shipments workers send home.  ``None``
+        # (the default) keeps every instrumentation site a single
+        # module-global test — the hot paths are unchanged.
+        self._trace = trace
+        self.spans: Optional[SpanTracer] = None
+        self._shipments: List[Dict[str, object]] = []
+        self._lane_pool: List[int] = []
+        self._next_lane = 1
+        if trace is not None:
+            spill = trace.spill_path
+            if spill is None and use_cache:
+                spill = str(self.cache_dir / SPILL_FILENAME)
+            if spill is not None and not resume:
+                try:  # a fresh traced sweep starts with a fresh spill
+                    Path(spill).unlink()
+                except OSError:
+                    pass
+            self.spans = SpanTracer(capacity=trace.capacity,
+                                    spill_path=spill,
+                                    process_label="engine")
         self.journal = SweepJournal(self.cache_dir) if use_cache else None
         self._journal_started = False
         self._journal_done: Set[str] = set()
@@ -635,6 +695,25 @@ class EvalEngine:
         target.write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n")
 
+    def write_trace(self, path: Union[str, Path],
+                    label: str = "sweep") -> Dict[str, object]:
+        """Collate the sweep's spans — parent + every worker shipment +
+        captured machine rings — into one Chrome ``trace_event`` file.
+
+        Requires the engine to have been built with ``trace=``; call
+        once after the drivers finish (draining is destructive).
+        """
+        if self.spans is None:
+            raise ValueError(
+                "tracing was not enabled on this engine (pass trace=)")
+        from ..telemetry.collate import collate, write_chrome
+
+        shipments = [self.spans.shipment()] + self._shipments
+        self._shipments = []
+        document = collate(shipments, sweep_label=label)
+        write_chrome(path, document)
+        return document
+
     def run_cells(self, specs: Sequence[CellSpec],
                   artifact: str = "") -> Dict[CellSpec, object]:
         """Resolve every spec, computing each unique cell at most once.
@@ -648,8 +727,18 @@ class EvalEngine:
         budget — after every other cell in the batch has been resolved,
         so completed work survives in the cache and journal.
         """
+        with self._tracing():
+            with spans_mod.maybe("engine.batch",
+                                 artifact=artifact or "(batch)",
+                                 requested=len(specs)):
+                return self._run_batch(specs, artifact)
+
+    def _run_batch(self, specs: Sequence[CellSpec],
+                   artifact: str) -> Dict[CellSpec, object]:
         if self.journal is not None and not self._journal_started:
-            self._journal_done = self.journal.start(self.resume)
+            with spans_mod.maybe("engine.journal.replay",
+                                 resume=self.resume):
+                self._journal_done = self.journal.start(self.resume)
             self._journal_started = True
         self._artifact = artifact
         unique: List[CellSpec] = []
@@ -662,11 +751,17 @@ class EvalEngine:
         self._total = len(misses)
         started = time.perf_counter()
         self._done = 0
+        if self.journal is not None and misses:
+            self.journal.note("batch", artifact=artifact,
+                              requested=len(unique), cells=len(misses),
+                              jobs=self.jobs)
 
         still_missing: List[CellSpec] = []
         for spec in misses:
-            cached = self._cache_load(spec)
+            with spans_mod.maybe("engine.cache.probe", cell=spec.label):
+                cached = self._cache_load(spec)
             if cached is not None:
+                spans_mod.instant("engine.cache.hit", cell=spec.label)
                 self._memo[spec] = cached
                 self.stats.cached += 1
                 self._cached_counter.inc()
@@ -700,6 +795,40 @@ class EvalEngine:
 
     # -- internals -----------------------------------------------------------
 
+    @contextmanager
+    def _tracing(self):
+        """Install this engine's span tracer for the dynamic extent of a
+        batch (reentrant: nested batches — e.g. the SimPoint wrapper's
+        inner replay batch — reuse the already-installed tracer)."""
+        if self.spans is None or spans_mod.current() is self.spans:
+            yield
+            return
+        machine_capacity = self._trace.machine_capacity \
+            if self._trace is not None else 0
+        spans_mod.install(self.spans, machine_capacity)
+        try:
+            yield
+        finally:
+            spans_mod.uninstall()
+
+    def _acquire_lane(self) -> int:
+        """Smallest free trace swimlane (tid) for an in-flight cell, so
+        concurrent cells render as parallel tracks in Perfetto."""
+        if self._lane_pool:
+            lane = min(self._lane_pool)
+            self._lane_pool.remove(lane)
+            return lane
+        lane = self._next_lane
+        self._next_lane += 1
+        return lane
+
+    def _close_task_span(self, task: _Task, status: str) -> None:
+        if task.span is None or self.spans is None:
+            return
+        self.spans.end(task.span, status=status)
+        self._lane_pool.append(task.lane)
+        task.span = None
+
     def _run_inline(self, specs: List[CellSpec]
                     ) -> List[Tuple[CellSpec, str]]:
         """Serial, same-process path: no hang supervision (a timeout
@@ -709,9 +838,16 @@ class EvalEngine:
         for spec in specs:
             attempt = 0
             while True:
+                if self.journal is not None:
+                    self.journal.record("start", spec,
+                                        artifact=self._artifact,
+                                        attempt=attempt + 1,
+                                        pid=os.getpid())
                 try:
-                    encoded, instructions, seconds = _cell_worker(
-                        spec.payload())
+                    with spans_mod.maybe("worker.cell", cell=spec.label,
+                                         attempt=attempt + 1):
+                        encoded, instructions, seconds = _cell_worker(
+                            spec.payload())
                 except Exception as error:  # noqa: BLE001 — retried
                     reason = f"{type(error).__name__}: {error}"
                     self.stats.transient_errors += 1
@@ -772,6 +908,7 @@ class EvalEngine:
                     if task.deadline is not None and now >= task.deadline:
                         del running[conn]
                         self._kill(task)
+                        self._close_task_span(task, "timeout")
                         reason = (f"timed out after "
                                   f"{self.cell_timeout:.1f}s")
                         self.stats.timed_out += 1
@@ -789,16 +926,32 @@ class EvalEngine:
     def _dispatch(self, ctx, spec: CellSpec, attempt: int) -> _Task:
         fault = self.fault_plan.worker_fault(spec.label) \
             if self.fault_plan else None
+        trace = None
+        if self._trace is not None:
+            trace = {"capacity": self._trace.capacity,
+                     "machine_capacity": self._trace.machine_capacity,
+                     "label": spec.label}
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_supervised_entry,
-                              args=(spec.payload(), fault, child_conn),
+                              args=(spec.payload(), fault, child_conn,
+                                    trace),
                               daemon=True)
         process.start()
         child_conn.close()
         deadline = None if self.cell_timeout is None \
             else time.monotonic() + self.cell_timeout
-        return _Task(spec=spec, attempt=attempt, process=process,
+        if self.journal is not None:
+            self.journal.record("start", spec, artifact=self._artifact,
+                                attempt=attempt + 1, pid=process.pid)
+        task = _Task(spec=spec, attempt=attempt, process=process,
                      conn=parent_conn, deadline=deadline)
+        if self.spans is not None:
+            task.lane = self._acquire_lane()
+            task.span = self.spans.begin("engine.cell", tid=task.lane,
+                                         cell=spec.label,
+                                         attempt=attempt + 1,
+                                         worker_pid=process.pid)
+        return task
 
     def _next_wake(self, running: Dict[object, _Task],
                    queue: Deque[Tuple[CellSpec, int, float]]
@@ -819,12 +972,18 @@ class EvalEngine:
         """A worker's pipe became readable: collect its result, or
         diagnose the crash if it died without reporting."""
         try:
-            status, value = task.conn.recv()
+            message = task.conn.recv()
+            status, value = message[0], message[1]
+            # Traced sweeps: the third element is the worker's span
+            # shipment, collated into the merged trace at write time.
+            if len(message) > 2 and message[2]:
+                self._shipments.append(message[2])
         except (EOFError, OSError):
             status, value = "crashed", None
         finally:
             task.conn.close()
         task.process.join()
+        self._close_task_span(task, status)
         if status == "ok":
             encoded, instructions, seconds = value
             self._finish_cell(task.spec, encoded, instructions, seconds,
@@ -860,6 +1019,11 @@ class EvalEngine:
         if attempt < self.max_retries:
             self.stats.retried += 1
             self._retried_counter.inc()
+            if self.journal is not None:
+                self.journal.record("retry", spec, artifact=self._artifact,
+                                    attempt=attempt + 1, error=reason)
+            spans_mod.instant("engine.retry", cell=spec.label,
+                              attempt=attempt + 1, reason=reason)
             self.echo(f"[cell] {spec.label} {reason}; "
                       f"retry {attempt + 1}/{self.max_retries} "
                       f"in {self._backoff(attempt):.1f}s")
@@ -900,7 +1064,8 @@ class EvalEngine:
         self._done += 1
         self.echo(f"[cell {self._done}/{self._total}] {spec.label} "
                   f"{seconds:.2f}s ({instructions:,} instr)")
-        self._cache_store(spec, encoded, instructions, seconds)
+        with spans_mod.maybe("engine.cache.write", cell=spec.label):
+            self._cache_store(spec, encoded, instructions, seconds)
         if self.journal is not None:
             self.journal.record("done", spec, artifact=self._artifact,
                                 attempts=attempts,
@@ -939,6 +1104,11 @@ class EvalEngine:
         self._quarantined_counter.inc()
         reason = f"{type(error).__name__}: {error}" if str(error) \
             else type(error).__name__
+        if self.journal is not None:
+            self.journal.record("quarantine", spec, artifact=self._artifact,
+                                error=reason)
+        spans_mod.instant("engine.cache.quarantine", cell=spec.label,
+                          reason=reason)
         try:
             quarantine_dir = self.cache_dir / "quarantine"
             quarantine_dir.mkdir(parents=True, exist_ok=True)

@@ -50,6 +50,7 @@ from ..core.machine import Chex86Machine
 from ..core.snapshot import save as save_snapshot
 from ..core.variants import Variant
 from ..isa.assembler import assemble
+from ..telemetry import spans
 from ..telemetry.registry import METRICS_SCHEMA
 from .common import BenchmarkRun, IntervalRun
 from .engine import CellSpec, EvalEngine, _VARIANT_BY_LABEL
@@ -144,6 +145,14 @@ class SamplingEngine:
 
     def run_cells(self, specs: Sequence[CellSpec],
                   artifact: str = "") -> Dict[CellSpec, object]:
+        # The whole sampled batch — eligibility profiling, checkpoint
+        # passes, inner replay fan-out — runs under the inner engine's
+        # span tracer (a no-op context when tracing is off).
+        with self._engine._tracing():
+            return self._run_batch(specs, artifact)
+
+    def _run_batch(self, specs: Sequence[CellSpec],
+                   artifact: str) -> Dict[CellSpec, object]:
         unique: List[CellSpec] = []
         seen = set()
         for spec in specs:
@@ -157,7 +166,8 @@ class SamplingEngine:
         if passthrough:
             self._engine.run_cells(passthrough, artifact=artifact)
         for spec in sampled:
-            self._estimate_cell(spec, artifact)
+            with spans.maybe("simpoint.estimate", cell=spec.label):
+                self._estimate_cell(spec, artifact)
         return {spec: self._engine._memo[spec] for spec in unique}
 
     def write_metrics(self, path, specs: Sequence[CellSpec],
@@ -220,13 +230,15 @@ class SamplingEngine:
         profile: Optional[_Profile] = None
         if workload.threads == 1:
             started = time.perf_counter()
-            program = assemble(workload.source, name=workload.name)
-            machine = Chex86Machine(program, variant=Variant.INSECURE,
-                                    halt_on_violation=False)
-            machine.bbv_interval = self.plan.interval
-            machine.run(max_instructions=spec.max_instructions)
-            machine.flush_profiling_intervals()
-            vectors = list(machine.bbv_vectors)
+            with spans.maybe("simpoint.profile", workload=spec.workload,
+                             budget=spec.max_instructions):
+                program = assemble(workload.source, name=workload.name)
+                machine = Chex86Machine(program, variant=Variant.INSECURE,
+                                        halt_on_violation=False)
+                machine.bbv_interval = self.plan.interval
+                machine.run(max_instructions=spec.max_instructions)
+                machine.flush_profiling_intervals()
+                vectors = list(machine.bbv_vectors)
             seconds = time.perf_counter() - started
             if len(vectors) >= 2:
                 selection = select(vectors, max_k=self.plan.max_k,
@@ -249,11 +261,15 @@ class SamplingEngine:
         profile = self._profile_for(spec)
         selection = profile.selection
         checkpoint_started = time.perf_counter()
-        interval_specs = self._checkpoint(spec, selection)
+        with spans.maybe("simpoint.checkpoint", cell=spec.label,
+                         points=len(selection.points)):
+            interval_specs = self._checkpoint(spec, selection)
         checkpoint_seconds = time.perf_counter() - checkpoint_started
         replayed = self._engine.run_cells(interval_specs, artifact=artifact)
         intervals = {s.interval_index: replayed[s] for s in interval_specs}
-        run = self._combine(spec, profile, intervals)
+        with spans.maybe("simpoint.extrapolate", cell=spec.label,
+                         intervals=len(intervals)):
+            run = self._combine(spec, profile, intervals)
         # Memo only: drivers re-keying by the original spec (and
         # cell_metrics/memoized) see the estimate, while the on-disk
         # full-run cache stays exact-only.

@@ -1,0 +1,241 @@
+"""Live sweep status (``repro status``) from the journal + span spill.
+
+The engine already leaves an append-only ``journal.jsonl`` under the
+cell-cache directory (one flushed JSON line per event, crash-consistent)
+and — on traced sweeps — a ``spans.jsonl`` spill next to it.  Neither
+requires cooperation from the running sweep: this module *reads* them,
+so ``repro status`` works against a live sweep from another terminal, a
+killed sweep (what is left to ``--resume``?), or a finished one.
+
+Event semantics (written by ``eval/engine.py``):
+
+* ``batch``   — a driver handed the engine a batch: ``cells`` to
+  resolve, ``jobs`` workers, ``artifact`` label;
+* ``start``   — one attempt dispatched (``attempt``, worker ``pid``);
+* ``done``    — cell complete (``source: "cached"`` for cache hits,
+  else ``seconds``/``attempts`` from a real simulation);
+* ``retry``   — an attempt failed and was re-queued;
+* ``failed``  — retries exhausted;
+* ``quarantine`` — a corrupt cache entry was moved aside.
+
+A cell is *running* iff its latest ``start`` is not followed by a
+``done``/``failed`` for the same key.  The ETA extrapolates the mean
+wall-clock of the last few computed cells over the remaining count,
+divided by the batch's worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..telemetry.spans import SPILL_FILENAME
+from .engine import SweepJournal
+
+#: How many recent computed-cell durations the ETA averages over.
+ETA_WINDOW = 10
+
+
+@dataclass
+class RunningCell:
+    """One cell with a ``start`` and no terminal event yet."""
+
+    label: str
+    attempt: int
+    pid: Optional[int]
+    since: Optional[float]      # journal wall-clock of the start event
+
+    def age_seconds(self, now: Optional[float] = None) -> Optional[float]:
+        if self.since is None:
+            return None
+        return max(0.0, (time.time() if now is None else now) - self.since)
+
+
+@dataclass
+class SweepStatus:
+    """Aggregated view of one sweep's journal (plus span spill)."""
+
+    cache_dir: str
+    artifacts: List[str] = field(default_factory=list)
+    jobs: int = 1
+    total: int = 0              # cells this sweep set out to resolve
+    done: int = 0               # unique completed cells
+    cached: int = 0             # of those, served from the cell cache
+    failed: int = 0             # unique permanently-failed cells
+    retries: int = 0
+    quarantined: int = 0
+    running: List[RunningCell] = field(default_factory=list)
+    recent_seconds: List[float] = field(default_factory=list)
+    last_event_ts: Optional[float] = None
+    spilled_spans: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done - self.failed)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.done if self.done else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining × mean recent cell wall-clock / workers, or
+        ``None`` when nothing has been computed to extrapolate from."""
+        if not self.remaining or not self.recent_seconds:
+            return None
+        mean = sum(self.recent_seconds) / len(self.recent_seconds)
+        return self.remaining * mean / max(1, self.jobs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cache_dir": self.cache_dir,
+            "artifacts": list(self.artifacts),
+            "jobs": self.jobs,
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "remaining": self.remaining,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "running": [{"label": cell.label, "attempt": cell.attempt,
+                         "pid": cell.pid,
+                         "age_seconds": cell.age_seconds()}
+                        for cell in self.running],
+            "eta_seconds": self.eta_seconds(),
+            "last_event_ts": self.last_event_ts,
+            "spilled_spans": self.spilled_spans,
+        }
+
+    def format_text(self) -> str:
+        lines = [f"sweep status ({self.cache_dir})"]
+        if self.artifacts:
+            lines.append(f"  artifacts:   {', '.join(self.artifacts)}")
+        counts = (f"  cells:       {self.total} total, {self.done} done"
+                  f" ({self.cached} cached), {len(self.running)} running,"
+                  f" {self.failed} failed")
+        lines.append(counts)
+        lines.append(f"  degradation: {self.retries} retrie(s), "
+                     f"{self.quarantined} quarantined cache entr(ies)")
+        lines.append(f"  cache hits:  {self.cache_hit_rate:.0%} of "
+                     f"completed cells")
+        for cell in self.running:
+            age = cell.age_seconds()
+            age_text = "" if age is None else f", {_duration(age)} ago"
+            lines.append(f"  running:     {cell.label} "
+                         f"(attempt {cell.attempt}"
+                         + (f", pid {cell.pid}" if cell.pid else "")
+                         + f"{age_text})")
+        eta = self.eta_seconds()
+        if eta is not None:
+            mean = sum(self.recent_seconds) / len(self.recent_seconds)
+            lines.append(f"  eta:         ~{_duration(eta)} "
+                         f"({self.remaining} cell(s) x {mean:.1f}s "
+                         f"/ {self.jobs} job(s))")
+        elif not self.remaining and self.total:
+            lines.append("  eta:         complete")
+        if self.spilled_spans:
+            lines.append(f"  spans:       {self.spilled_spans} spilled "
+                         f"record(s) in {SPILL_FILENAME}")
+        return "\n".join(lines)
+
+
+def _duration(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m {rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h {minutes:02d}m"
+
+
+def read_status(cache_dir: Union[str, Path]) -> SweepStatus:
+    """Parse the journal (and span spill) under ``cache_dir``.
+
+    Tolerates everything an interrupted sweep can leave behind: a
+    missing journal (empty status), a truncated trailing line (skipped,
+    exactly like the engine's own reader), and pre-tracing journals
+    whose records carry no ``ts``/``batch`` events.
+    """
+    directory = Path(cache_dir)
+    status = SweepStatus(cache_dir=str(directory))
+    journal_path = directory / SweepJournal.FILENAME
+    try:
+        text = journal_path.read_text()
+    except OSError:
+        text = ""
+
+    done_keys: Dict[str, str] = {}      # key -> source ("cached"/"")
+    failed_keys = set()
+    starts: Dict[str, Dict[str, object]] = {}   # key -> latest start
+    # Latest batch announcement per artifact: a resumed sweep re-announces
+    # the same batch, so the newest declaration wins instead of summing.
+    batch_by_artifact: Dict[str, int] = {}
+    recent: List[float] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # truncated trailing line from an interrupt
+        event = record.get("event")
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            status.last_event_ts = float(ts)
+        key = record.get("key")
+        if event == "batch":
+            artifact = str(record.get("artifact", ""))
+            batch_by_artifact[artifact] = int(record.get("cells", 0))
+            status.jobs = int(record.get("jobs", status.jobs) or 1)
+        elif event == "start" and key:
+            starts[key] = record
+        elif event == "done" and key:
+            done_keys[key] = str(record.get("source", ""))
+            starts.pop(key, None)
+            failed_keys.discard(key)
+            seconds = record.get("seconds")
+            if isinstance(seconds, (int, float)):
+                recent.append(float(seconds))
+        elif event == "failed" and key:
+            failed_keys.add(key)
+            starts.pop(key, None)
+        elif event == "retry":
+            status.retries += 1
+        elif event == "quarantine":
+            status.quarantined += 1
+        artifact = record.get("artifact")
+        if artifact and artifact not in status.artifacts:
+            status.artifacts.append(artifact)
+
+    status.done = len(done_keys)
+    status.cached = sum(1 for source in done_keys.values()
+                        if source == "cached")
+    status.failed = len(failed_keys)
+    status.recent_seconds = recent[-ETA_WINDOW:]
+    for key, record in starts.items():
+        ts = record.get("ts")
+        pid = record.get("pid")
+        status.running.append(RunningCell(
+            label=str(record.get("label", key)),
+            attempt=int(record.get("attempt", 1)),
+            pid=int(pid) if isinstance(pid, int) else None,
+            since=float(ts) if isinstance(ts, (int, float)) else None))
+    status.running.sort(key=lambda cell: cell.label)
+    # Pre-tracing journals have no batch events; fall back to what the
+    # journal actually witnessed so counts never go negative.
+    status.total = max(sum(batch_by_artifact.values()),
+                       status.done + status.failed + len(status.running))
+
+    spill = directory / SPILL_FILENAME
+    try:
+        with spill.open() as handle:
+            status.spilled_spans = sum(1 for line in handle if line.strip())
+    except OSError:
+        status.spilled_spans = 0
+    return status

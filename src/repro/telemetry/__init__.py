@@ -24,6 +24,8 @@ Design constraints (see docs/observability.md):
   registry is the source the renderings read from, not a new format.
 """
 
+from .collate import collate, validate_chrome_trace
+from .diffs import MetricsDiff, diff_snapshots, load_metrics
 from .registry import (
     METRICS_SCHEMA,
     Counter,
@@ -31,6 +33,7 @@ from .registry import (
     MetricsRegistry,
     write_snapshot,
 )
+from .spans import SPAN_SCHEMA, SpanTracer, TraceOptions
 from .tracer import EVENT_KINDS, EventTracer, TraceEvent
 
 __all__ = [
@@ -42,4 +45,12 @@ __all__ = [
     "EVENT_KINDS",
     "EventTracer",
     "TraceEvent",
+    "SPAN_SCHEMA",
+    "SpanTracer",
+    "TraceOptions",
+    "collate",
+    "validate_chrome_trace",
+    "MetricsDiff",
+    "diff_snapshots",
+    "load_metrics",
 ]

@@ -1,0 +1,205 @@
+"""Structured diffing of metrics exports (``repro metrics diff``).
+
+Every metrics surface in the repo — ``write_snapshot`` files from
+``--metrics-out``, the engine's per-cell sidecars under
+``results/metrics/``, a bare ``{name: value}`` snapshot — flattens to a
+dotted-name → number mapping.  :func:`diff_snapshots` compares two such
+mappings the way the test-suite (and a human bisecting a perf change)
+actually wants:
+
+* **added / removed** keys are reported separately — a new counter is
+  schema drift, not a value change;
+* **changed** keys get both an absolute and a relative delta, and the
+  *comparand* judged against the tolerance is chosen per metric:
+  ratio-like metrics (miss rates, coverage, IPC — bounded quantities
+  where "0.93 vs 0.95" is the meaningful distance) are judged on the
+  absolute delta, unbounded counters on the relative delta, so one
+  ``--tolerance 0.01`` reads naturally for both;
+* a metric that appears with value ``0`` on one side and non-zero on
+  the other has no finite relative delta — it is judged on the side
+  that exists (always out of tolerance unless the tolerance covers the
+  absolute change of a ratio-like name).
+
+``diff_snapshots(...).clean`` is what tests should assert instead of
+``assert a == b`` on metric dicts: failures print *which* metric moved
+and by how much.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+#: Bumped when the diff document layout changes.
+METRIC_DIFF_SCHEMA = 1
+
+#: Dotted-name components that mark a metric as ratio-like (judged on
+#: absolute delta).  Matched against whole dot-separated components and
+#: trailing suffixes (``miss_rate``), not raw substrings.
+RATIO_HINTS = ("rate", "accuracy", "fraction", "coverage", "ipc",
+               "expansion", "ratio")
+
+
+def is_ratio_like(name: str, a: float, b: float) -> bool:
+    """Should ``name`` be judged on absolute (not relative) delta?"""
+    components = name.lower().split(".")
+    for component in components:
+        if component in RATIO_HINTS:
+            return True
+        if any(component.endswith("_" + hint) for hint in RATIO_HINTS):
+            return True
+    # Bounded values: both sides inside [0, 1] behave like ratios.
+    return 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 \
+        and not (float(a).is_integer() and float(b).is_integer())
+
+
+@dataclass
+class MetricDelta:
+    """One changed metric: both deltas plus the judged comparand."""
+
+    name: str
+    a: float
+    b: float
+    abs_delta: float
+    rel_delta: float        # |b-a| / |a| (or /|b| when a == 0)
+    ratio_like: bool
+    comparand: float        # what the tolerance is applied to
+
+    def within(self, tolerance: float) -> bool:
+        return self.comparand <= tolerance
+
+    def to_dict(self) -> Dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+@dataclass
+class MetricsDiff:
+    """The structured result of comparing two metric snapshots."""
+
+    added: Dict[str, float] = field(default_factory=dict)
+    removed: Dict[str, float] = field(default_factory=dict)
+    changed: List[MetricDelta] = field(default_factory=list)
+    tolerance: float = 0.0
+    unchanged: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return not self.added and not self.removed and not self.changed
+
+    def out_of_tolerance(self) -> List[MetricDelta]:
+        return [delta for delta in self.changed
+                if not delta.within(self.tolerance)]
+
+    @property
+    def clean(self) -> bool:
+        """No schema drift and every change within tolerance — the
+        condition ``repro metrics diff`` exits 0 on."""
+        return not self.added and not self.removed \
+            and not self.out_of_tolerance()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": METRIC_DIFF_SCHEMA,
+            "tolerance": self.tolerance,
+            "added": dict(sorted(self.added.items())),
+            "removed": dict(sorted(self.removed.items())),
+            "changed": [delta.to_dict() for delta in self.changed],
+            "unchanged": self.unchanged,
+            "clean": self.clean,
+        }
+
+    def format_text(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.added):
+            lines.append(f"+ {name} = {self.added[name]:g} (only in B)")
+        for name in sorted(self.removed):
+            lines.append(f"- {name} = {self.removed[name]:g} (only in A)")
+        for delta in self.changed:
+            marker = " " if delta.within(self.tolerance) else "!"
+            kind = "abs" if delta.ratio_like else "rel"
+            lines.append(
+                f"{marker} {delta.name}: {delta.a:g} -> {delta.b:g} "
+                f"(abs {delta.abs_delta:+g}, rel {delta.rel_delta:.2%}, "
+                f"judged {kind})")
+        summary = (f"{len(self.added)} added, {len(self.removed)} removed, "
+                   f"{len(self.changed)} changed "
+                   f"({len(self.out_of_tolerance())} beyond tolerance "
+                   f"{self.tolerance:g}), {self.unchanged} unchanged")
+        lines.append(("OK: " if self.clean else "DIFF: ") + summary)
+        return "\n".join(lines)
+
+
+def diff_snapshots(a: Dict[str, float], b: Dict[str, float],
+                   tolerance: float = 0.0) -> MetricsDiff:
+    """Compare two flat metric snapshots; see the module docstring for
+    the ratio-aware judging rules."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    diff = MetricsDiff(tolerance=tolerance)
+    names_a, names_b = set(a), set(b)
+    diff.added = {name: float(b[name]) for name in names_b - names_a}
+    diff.removed = {name: float(a[name]) for name in names_a - names_b}
+    for name in sorted(names_a & names_b):
+        va, vb = float(a[name]), float(b[name])
+        if va == vb:
+            diff.unchanged += 1
+            continue
+        abs_delta = vb - va
+        denominator = abs(va) if va != 0 else abs(vb)
+        rel_delta = abs(abs_delta) / denominator
+        ratio = is_ratio_like(name, va, vb)
+        diff.changed.append(MetricDelta(
+            name=name, a=va, b=vb, abs_delta=abs_delta,
+            rel_delta=rel_delta, ratio_like=ratio,
+            comparand=abs(abs_delta) if ratio else rel_delta))
+    return diff
+
+
+def load_metrics(path: Union[str, Path]) -> Dict[str, float]:
+    """Flatten any of the repo's metrics-export shapes to name → value.
+
+    Accepts ``write_snapshot`` documents (``{"metrics": {...}}``),
+    engine per-cell sidecars (``{"engine": {...}, "cells": [...]}`` —
+    cell metrics are prefixed ``<workload>/<defense>.``), and bare
+    ``{name: number}`` snapshots.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as error:
+        raise ValueError(f"cannot read metrics file {path}: "
+                         f"{error.strerror or error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+
+    if "cells" in document and isinstance(document.get("cells"), list):
+        flat: Dict[str, float] = {}
+        engine = document.get("engine")
+        if isinstance(engine, dict):
+            for name, value in engine.items():
+                if isinstance(value, (int, float)):
+                    flat[name] = float(value)
+        for cell in document["cells"]:
+            if not isinstance(cell, dict):
+                continue
+            prefix = f"{cell.get('workload', '?')}/{cell.get('defense', '?')}"
+            for name, value in cell.get("metrics", {}).items():
+                if isinstance(value, (int, float)):
+                    flat[f"{prefix}.{name}"] = float(value)
+        return flat
+
+    if "metrics" in document and isinstance(document["metrics"], dict):
+        document = document["metrics"]
+    flat = {}
+    for name, value in document.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = float(value)
+    if not flat:
+        raise ValueError(f"{path}: no numeric metrics found")
+    return flat

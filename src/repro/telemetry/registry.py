@@ -120,6 +120,10 @@ class MetricsRegistry:
         self._gauges: Dict[str, Tuple[Callable[[], float], str]] = {}
         self._ratios: "Dict[str, Tuple[str, str, float]]" = {}
         self._histograms: Dict[str, Histogram] = {}
+        # (object id, attribute) -> metric name, recorded by
+        # register_object so coverage tests can ask "is this stats
+        # attribute reachable as a gauge?" (registered_attributes).
+        self._attr_sources: "List[Tuple[object, str, str]]" = []
 
     # -- registration --------------------------------------------------------
 
@@ -161,6 +165,16 @@ class MetricsRegistry:
         for metric, attribute in items:
             self.gauge(f"{prefix}.{metric}",
                        _attr_reader(obj, attribute), merge=merge)
+            self._attr_sources.append((obj, attribute, f"{prefix}.{metric}"))
+
+    def registered_attributes(self, obj: object) -> Dict[str, str]:
+        """``{attribute: metric name}`` for every attribute of ``obj``
+        bridged through :meth:`register_object` — what the
+        metric-coverage completeness test walks to catch stats counters
+        that never reach a sidecar."""
+        return {attribute: metric
+                for source, attribute, metric in self._attr_sources
+                if source is obj}
 
     def ratio(self, name: str, numerator: str, denominator: str,
               default: float = 0.0) -> None:

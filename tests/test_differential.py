@@ -30,6 +30,7 @@ from repro.core import Chex86Machine, Variant
 from repro.core.machine import BLOCK_CACHE_BLOCKS
 from repro.heap import heap_library_asm
 from repro.isa import Reg, assemble
+from repro.telemetry import diff_snapshots
 
 #: Registers the generator uses for data (avoids rsp/rbp and ASan's r13-15).
 DATA_REGS = ("rax", "rbx", "rcx", "rdx", "rsi", "r8", "r9", "r10")
@@ -129,6 +130,15 @@ def comparable_metrics(machine: Chex86Machine) -> dict:
     return strip_frontend(machine.metrics_snapshot())
 
 
+def assert_metrics_identical(machine: Chex86Machine,
+                             reference: Chex86Machine, label: str) -> None:
+    """Structured metric comparison: a failure names *which* metric
+    moved and by how much, instead of dumping two whole dicts."""
+    diff = diff_snapshots(comparable_metrics(reference),
+                          comparable_metrics(machine))
+    assert diff.identical, f"{label}: metrics diverged\n{diff.format_text()}"
+
+
 def comparable_phase_counters(machine: Chex86Machine) -> dict:
     return strip_frontend(machine.phase_counters())
 
@@ -170,8 +180,7 @@ class TestThreeWayDifferential:
             # Full stats snapshots: every registered metric outside the
             # frontend.* family agrees, and the human summary renders
             # identically.
-            assert comparable_metrics(machine) \
-                == comparable_metrics(reference), f"{label}: metrics"
+            assert_metrics_identical(machine, reference, label)
             assert comparable_phase_counters(machine) \
                 == comparable_phase_counters(reference)
             assert machine.stats_summary() == reference.stats_summary()
@@ -204,8 +213,8 @@ class TestThreeWayDifferential:
             assert result.cycles == reference_result.cycles
             assert architectural_state(machine) \
                 == architectural_state(reference)
-            assert comparable_metrics(machine) \
-                == comparable_metrics(reference)
+            assert_metrics_identical(machine, reference,
+                                     f"seed {seed} ({mode_id})")
 
 
 class TestObservationBoundaries:

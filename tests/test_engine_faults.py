@@ -136,8 +136,14 @@ class TestCrashFaults:
         journal = SweepJournal(tmp_path)
         events = [json.loads(line) for line
                   in journal.path.read_text().splitlines()]
-        assert [e["event"] for e in events] == ["failed"]
-        assert events[0]["label"] == "lbm/insecure"
+        # The full attempt history is journaled: batch announcement,
+        # one start per dispatch, a retry, and the terminal failure.
+        kinds = [e["event"] for e in events]
+        assert kinds == ["batch", "start", "retry", "start", "failed"]
+        assert events[-1]["label"] == "lbm/insecure"
+        assert [e["attempt"] for e in events if e["event"] == "start"] \
+            == [1, 2]
+        assert all(isinstance(e["ts"], float) for e in events)
 
     def test_other_cells_survive_a_permanent_failure(self, tmp_path,
                                                      fault_free):
@@ -278,7 +284,12 @@ class TestResume:
         fresh = engine(tmp_path, jobs=1)
         fresh.run_cells([spec()])
         journal = SweepJournal(tmp_path)
-        assert len(journal.path.read_text().splitlines()) == 1
+        events = [json.loads(line) for line
+                  in journal.path.read_text().splitlines()]
+        # Only the fresh sweep's events survive: its batch note and one
+        # cache-served done — the first sweep's three cells are gone.
+        assert [e["event"] for e in events] == ["batch", "done"]
+        assert events[-1]["source"] == "cached"
         assert journal.done_keys() == {spec().cache_key()}
 
     def test_journal_tolerates_partial_trailing_line(self, tmp_path):

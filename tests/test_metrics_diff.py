@@ -1,0 +1,126 @@
+"""Tests for structured metrics diffing (``repro metrics diff``)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.diffs import (
+    diff_snapshots,
+    is_ratio_like,
+    load_metrics,
+)
+
+
+class TestRatioHeuristic:
+    def test_named_ratios(self):
+        assert is_ratio_like("cache.cap.miss_rate", 0.1, 5.0)
+        assert is_ratio_like("predictor.accuracy", 2.0, 3.0)
+        assert is_ratio_like("frontend.coverage", 0.9, 0.8)
+        assert is_ratio_like("uop.expansion", 1.4, 1.5)
+
+    def test_counters_are_not_ratios(self):
+        assert not is_ratio_like("machine.instructions", 100, 200)
+        assert not is_ratio_like("mcu.injected_uops", 3, 4)
+
+    def test_bounded_non_integer_values_behave_like_ratios(self):
+        assert is_ratio_like("some.opaque", 0.25, 0.75)
+        assert not is_ratio_like("some.opaque", 0.0, 1.0)  # both integral
+        assert not is_ratio_like("some.opaque", 0.5, 7.0)  # unbounded
+
+
+class TestDiff:
+    def test_identical(self):
+        diff = diff_snapshots({"a": 1.0}, {"a": 1.0})
+        assert diff.identical and diff.clean
+        assert diff.unchanged == 1
+
+    def test_added_removed_break_clean(self):
+        diff = diff_snapshots({"a": 1, "b": 2}, {"a": 1, "c": 3})
+        assert diff.added == {"c": 3.0}
+        assert diff.removed == {"b": 2.0}
+        assert not diff.clean
+
+    def test_tolerance_judged_relatively_for_counters(self):
+        diff = diff_snapshots({"machine.cycles": 1000},
+                              {"machine.cycles": 1005})
+        (delta,) = diff.changed
+        assert not delta.ratio_like
+        assert delta.comparand == pytest.approx(0.005)
+        assert diff_snapshots({"machine.cycles": 1000},
+                              {"machine.cycles": 1005},
+                              tolerance=0.01).clean
+
+    def test_tolerance_judged_absolutely_for_ratios(self):
+        a = {"cap.miss_rate": 0.93}
+        b = {"cap.miss_rate": 0.95}
+        (delta,) = diff_snapshots(a, b).changed
+        assert delta.ratio_like
+        assert delta.comparand == pytest.approx(0.02)
+        assert diff_snapshots(a, b, tolerance=0.05).clean
+        assert not diff_snapshots(a, b, tolerance=0.01).clean
+
+    def test_zero_to_nonzero_is_out_of_tolerance(self):
+        diff = diff_snapshots({"violations": 0}, {"violations": 3},
+                              tolerance=0.5)
+        (delta,) = diff.changed
+        assert delta.rel_delta == 1.0  # judged on the side that exists
+        assert not diff.clean
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_snapshots({}, {}, tolerance=-0.1)
+
+    def test_format_text_names_the_mover(self):
+        text = diff_snapshots({"a.count": 1, "b": 2},
+                              {"a.count": 9, "b": 2}).format_text()
+        assert "a.count: 1 -> 9" in text
+        assert text.endswith("1 unchanged")
+        assert text.splitlines()[-1].startswith("DIFF:")
+
+    def test_to_dict_json_serialisable(self):
+        document = json.loads(json.dumps(
+            diff_snapshots({"a": 1}, {"a": 2}).to_dict()))
+        assert document["clean"] is False
+        assert document["changed"][0]["name"] == "a"
+
+
+class TestLoadMetrics:
+    def test_write_snapshot_document(self, tmp_path):
+        from repro.telemetry import write_snapshot
+
+        target = tmp_path / "snap.json"
+        write_snapshot(target, {"m.count": 3, "m.rate": 0.5},
+                       meta={"workload": "mcf"})
+        assert load_metrics(target) == {"m.count": 3.0, "m.rate": 0.5}
+
+    def test_engine_sidecar_document(self, tmp_path):
+        target = tmp_path / "sidecar.json"
+        target.write_text(json.dumps({
+            "engine": {"cells_computed": 2, "label": "ignored"},
+            "cells": [
+                {"workload": "mcf", "defense": "insecure",
+                 "metrics": {"machine.cycles": 100}},
+                "not-a-cell",
+            ],
+        }))
+        flat = load_metrics(target)
+        assert flat == {"cells_computed": 2.0,
+                        "mcf/insecure.machine.cycles": 100.0}
+
+    def test_bare_snapshot(self, tmp_path):
+        target = tmp_path / "bare.json"
+        target.write_text(json.dumps({"a": 1, "b": 2.5, "skip": "text",
+                                      "flag": True}))
+        assert load_metrics(target) == {"a": 1.0, "b": 2.5}
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_metrics(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_metrics(bad)
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"only": "strings"}')
+        with pytest.raises(ValueError, match="no numeric metrics"):
+            load_metrics(empty)

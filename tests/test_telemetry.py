@@ -213,6 +213,92 @@ class TestTracer:
         assert path.read_text() == ""
 
 
+class TestTracerExportEdgeCases:
+    """Export edge cases: empty ring, exact-capacity boundary,
+    interleaved kind/pc filtering, Chrome field validity."""
+
+    def test_empty_ring_everywhere(self, tmp_path):
+        tracer = EventTracer(capacity=4)
+        assert tracer.records() == []
+        assert tracer.filtered(kinds=["capcheck"], pc=0x10) == []
+        assert tracer.kind_counts() == {}
+        assert list(tracer.jsonl_lines()) == []
+        doc = tracer.chrome_trace(process_name="empty")
+        # Metadata only — and still a valid Chrome document.
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        from repro.telemetry.collate import validate_chrome_trace
+
+        assert validate_chrome_trace(doc) == []
+        target = tmp_path / "empty.json"
+        tracer.write_chrome(target)
+        assert json.loads(target.read_text())["traceEvents"] is not None
+
+    def test_exact_capacity_boundary(self):
+        tracer = EventTracer(capacity=4)
+        for ts in range(4):                   # exactly capacity
+            tracer.emit(ts, "capcheck", pc=ts)
+        assert tracer.dropped == 0
+        assert [e.ts for e in tracer.records()] == [0, 1, 2, 3]
+        tracer.emit(4, "capcheck", pc=4)      # one past: oldest evicted
+        assert tracer.dropped == 1
+        assert [e.ts for e in tracer.records()] == [1, 2, 3, 4]
+        # kind_counts/jsonl agree with the wrapped view, not emitted.
+        assert tracer.kind_counts() == {"capcheck": 4}
+        assert len(list(tracer.jsonl_lines())) == 4
+        assert tracer.emitted == 5
+
+    def test_interleaved_kinds_with_pc_filter(self):
+        tracer = EventTracer(capacity=8)
+        script = [(0, "capcheck", 0x10), (1, "squash", 0x10),
+                  (2, "capcheck", 0x20), (3, "violation", 0x20),
+                  (4, "squash", 0x20), (5, "capcheck", 0x10)]
+        for ts, kind, pc in script:
+            tracer.emit(ts, kind, pc=pc)
+        both = tracer.filtered(kinds=["capcheck", "squash"])
+        assert [e.ts for e in both] == [0, 1, 2, 4, 5]
+        narrowed = tracer.filtered(kinds=["capcheck", "squash"], pc=0x10)
+        assert [e.ts for e in narrowed] == [0, 1, 5]
+        assert tracer.filtered(kinds=["violation"], pc=0x10) == []
+        # Filtering after wraparound only sees surviving records: 6 new
+        # capgens push out ts 0-3, leaving ts 5 as the only capcheck.
+        for ts in range(6, 12):
+            tracer.emit(ts, "capgen", pc=0x30)
+        assert [e.ts for e in tracer.filtered(kinds=["capcheck"])] == [5]
+        assert tracer.filtered(kinds=["violation"]) == []
+
+    def test_chrome_export_field_validity(self, tmp_path):
+        from repro.telemetry.collate import validate_chrome_trace
+
+        tracer = EventTracer()
+        tracer.emit(10, "capcheck", pc=0x400010, pid=3, ok=False)
+        tracer.emit(25, "squash", pc=0x400020, cause="alias", penalty=14)
+        tracer.emit(30, "violation", pc=0x400030, kind_detail="oob")
+        doc = tracer.chrome_trace(process_name="fields")
+        assert validate_chrome_trace(doc) == []
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        for event in events:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+            assert event["args"]["pc"].startswith("0x")
+        squash = [e for e in events if e["name"] == "squash"][0]
+        assert squash["ph"] == "X" and squash["dur"] == 14
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e.get("s") == "t" for e in instants)
+
+    def test_chrome_export_of_explicit_subset(self, tmp_path):
+        tracer = EventTracer()
+        tracer.emit(1, "capcheck", pc=0x10)
+        tracer.emit(2, "squash", pc=0x20, cause="alias", penalty=3)
+        subset = tracer.filtered(kinds=["squash"])
+        target = tmp_path / "subset.json"
+        tracer.write_chrome(target, events=subset)
+        doc = json.loads(target.read_text())
+        named = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in named] == ["squash"]
+
+
 # -- machine integration ------------------------------------------------------
 
 
