@@ -60,6 +60,8 @@ from .eval import table1, table2, table3, table4
 from .eval.engine import (CellFailure, DEFAULT_CACHE_DIR,
                           DEFAULT_MAX_RETRIES, DEFAULT_RETRY_BACKOFF,
                           EvalEngine)
+from .fuzz import (DEFAULT_BUDGET as FUZZ_DEFAULT_BUDGET,
+                   DEFAULT_CORPUS_DIR)
 from .heap import heap_library_asm
 from .isa import assemble
 from .telemetry import EVENT_KINDS, EventTracer, write_snapshot
@@ -394,6 +396,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--json", action="store_true",
                          help="emit the report as JSON instead of text")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing campaign")
+    fuzz_p.add_argument("--seeds", type=int, default=50, metavar="N",
+                        help="number of generator seeds to sweep "
+                             "(default: 50)")
+    fuzz_p.add_argument("--seed-base", type=int, default=0, metavar="BASE",
+                        help="first seed of the range (default: 0)")
+    fuzz_p.add_argument("--budget", type=int, default=FUZZ_DEFAULT_BUDGET,
+                        metavar="N",
+                        help="instruction budget per oracle machine "
+                             f"(default: {FUZZ_DEFAULT_BUDGET})")
+    fuzz_p.add_argument("--corpus-dir", default=DEFAULT_CORPUS_DIR,
+                        metavar="DIR",
+                        help="persistent corpus directory; interesting "
+                             "seeds and shrunk reproducers accumulate "
+                             f"here (default: {DEFAULT_CORPUS_DIR})")
+    fuzz_p.add_argument("--shrink", action="store_true", default=True,
+                        dest="shrink",
+                        help="minimize failing programs before reporting "
+                             "(default)")
+    fuzz_p.add_argument("--no-shrink", action="store_false", dest="shrink",
+                        help="report failures without minimizing them")
+    fuzz_p.add_argument("--bug", default="", metavar="SPEC",
+                        help="oracle-sensitivity mode: inject a known bug "
+                             "(kind[:role][@index], e.g. "
+                             "'skip-capcheck:diff:superblock'); the "
+                             "campaign must then FAIL — used by the "
+                             "sensitivity tests and CI, see "
+                             "docs/fuzzing.md")
+    _add_engine_args(fuzz_p)
+
     met_p = sub.add_parser(
         "metrics", help="metrics-export tooling (structured diffing)")
     met_p.add_argument("action", choices=("diff",),
@@ -561,6 +594,35 @@ def cmd_table(args) -> int:
         result = module.run(scale=args.scale)
     print(result.format_text())
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from .fuzz import BugSpecError, BugInjection, FuzzOptions, run_campaign
+
+    _validate_engine_args(args)
+    if args.simpoint:
+        raise CliError("fuzz cells are not samplable (drop --simpoint)")
+    if args.seeds < 1:
+        raise CliError(f"--seeds must be >= 1, got {args.seeds}")
+    if args.seed_base < 0:
+        raise CliError(f"--seed-base must be >= 0, got {args.seed_base}")
+    if args.budget < 1:
+        raise CliError(f"--budget must be >= 1, got {args.budget}")
+    if args.bug:
+        try:
+            BugInjection.parse(args.bug)
+        except BugSpecError as error:
+            raise CliError(str(error)) from error
+
+    engine = _engine_from(args, _echo_stderr)
+    options = FuzzOptions(seeds=args.seeds, seed_base=args.seed_base,
+                          budget=args.budget, corpus_dir=args.corpus_dir,
+                          shrink=args.shrink, bug=args.bug)
+    report = run_campaign(engine, options, echo=_echo_stderr)
+    if args.trace_out:
+        _write_sweep_trace(engine, args, "fuzz")
+    print(report.format_text())
+    return 0 if report.ok else 1
 
 
 def cmd_security(args) -> int:
@@ -832,6 +894,7 @@ def main(argv=None) -> int:
         "figure": cmd_figure,
         "table": cmd_table,
         "security": cmd_security,
+        "fuzz": cmd_fuzz,
         "trace": cmd_trace,
         "debug": cmd_debug,
         "reproduce": cmd_reproduce,

@@ -134,7 +134,7 @@ class CellSpec:
     defense: str
     scale: int = 1
     max_instructions: int = 2_000_000
-    kind: str = "benchmark"      # "benchmark" | "patterns" | "interval"
+    kind: str = "benchmark"      # "benchmark" | "patterns" | "interval" | "fuzz"
     min_events: int = 0          # patterns cells: minimum reloads per PC
     config: CoreConfig = DEFAULT_CONFIG
     # Interval cells only (checkpointed SimPoint replay, docs/sampling.md):
@@ -142,14 +142,21 @@ class CellSpec:
     interval_length: int = 0     # instructions to execute from the snapshot
     checkpoint: str = ""         # snapshot file path (volatile, not hashed)
     checkpoint_digest: str = ""  # sha256 of the snapshot bytes (hashed)
+    # Fuzz cells only (oracle sweeps, docs/fuzzing.md); ``defense`` holds
+    # the generator profile, not a variant label:
+    fuzz_seed: int = -1          # generator seed (the cell's identity)
+    fuzz_profile: str = ""       # generator profile ("" = seed rotation)
+    fuzz_bug: str = ""           # oracle-sensitivity bug injection spec
 
     def __post_init__(self) -> None:
-        if self.kind not in ("benchmark", "patterns", "interval"):
+        if self.kind not in ("benchmark", "patterns", "interval", "fuzz"):
             raise ValueError(f"unknown cell kind {self.kind!r}")
         if self.kind in ("benchmark", "interval") \
                 and self.defense not in _VARIANT_BY_LABEL \
                 and self.defense != "asan":
             raise ValueError(f"unknown defense {self.defense!r}")
+        if self.kind == "fuzz" and self.fuzz_seed < 0:
+            raise ValueError("fuzz cells need fuzz_seed >= 0")
         if self.kind == "interval":
             if self.interval_index < 0 or self.interval_length <= 0:
                 raise ValueError(
@@ -194,6 +201,10 @@ class CellSpec:
             payload["interval_length"] = self.interval_length
             payload["checkpoint"] = self.checkpoint
             payload["checkpoint_digest"] = self.checkpoint_digest
+        if self.kind == "fuzz":
+            payload["fuzz_seed"] = self.fuzz_seed
+            payload["fuzz_profile"] = self.fuzz_profile
+            payload["fuzz_bug"] = self.fuzz_bug
         return payload
 
     @classmethod
@@ -210,7 +221,10 @@ class CellSpec:
                    interval_index=payload.get("interval_index", -1),
                    interval_length=payload.get("interval_length", 0),
                    checkpoint=payload.get("checkpoint", ""),
-                   checkpoint_digest=payload.get("checkpoint_digest", ""))
+                   checkpoint_digest=payload.get("checkpoint_digest", ""),
+                   fuzz_seed=payload.get("fuzz_seed", -1),
+                   fuzz_profile=payload.get("fuzz_profile", ""),
+                   fuzz_bug=payload.get("fuzz_bug", ""))
 
     def cache_key(self) -> str:
         """Content hash over the spec and the package version, so any
@@ -242,6 +256,10 @@ def compute_cell(spec: CellSpec):
 
     if spec.kind == "interval":
         return _replay_interval(spec)
+    if spec.kind == "fuzz":
+        from ..fuzz.cell import compute_fuzz_cell
+
+        return compute_fuzz_cell(spec)
     workload = build(spec.workload, spec.scale)
     if spec.kind == "benchmark":
         defense = _VARIANT_BY_LABEL.get(spec.defense, spec.defense)
@@ -310,6 +328,8 @@ def encode_result(spec: CellSpec, result) -> Dict[str, object]:
         return {"benchmark_run": result.to_dict()}
     if spec.kind == "interval":
         return {"interval_run": result.to_dict()}
+    if spec.kind == "fuzz":
+        return {"fuzz_result": result.to_dict()}
     return {"pattern_profile": {str(pc): pattern.value
                                 for pc, pattern in result.per_pc.items()}}
 
@@ -321,6 +341,10 @@ def decode_result(spec: CellSpec, encoded: Dict[str, object]):
         return BenchmarkRun.from_dict(encoded["benchmark_run"])
     if spec.kind == "interval":
         return IntervalRun.from_dict(encoded["interval_run"])
+    if spec.kind == "fuzz":
+        from ..fuzz.cell import FuzzCellResult
+
+        return FuzzCellResult.from_dict(encoded["fuzz_result"])
     from collections import Counter
 
     per_pc = {int(pc): Pattern(value)

@@ -1,0 +1,206 @@
+"""Campaign driver: fan seeds out through the engine, fold the results
+into the corpus, shrink the failures.
+
+The parallel part (one fuzz cell per seed) rides the fault-tolerant
+:class:`~repro.eval.engine.EvalEngine`; everything order-sensitive —
+corpus admission, coverage accounting, shrinking — happens parent-side
+in seed order, so a campaign's corpus and report are deterministic
+regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .cell import FuzzCellResult
+from .corpus import Corpus, CorpusEntry
+from .faults import BugInjection
+from .generator import DEFAULT_BUDGET, generate
+from .oracles import run_oracles
+from .shrink import DEFAULT_MAX_CHECKS, shrink
+
+DEFAULT_CORPUS_DIR = ".fuzz-corpus"
+
+
+@dataclass(frozen=True)
+class FuzzOptions:
+    """One campaign's knobs (the CLI maps flags straight onto this)."""
+
+    seeds: int = 50
+    seed_base: int = 0
+    budget: int = DEFAULT_BUDGET
+    corpus_dir: str = DEFAULT_CORPUS_DIR
+    shrink: bool = True
+    bug: str = ""
+    max_shrink_checks: int = DEFAULT_MAX_CHECKS
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One shrunk failing program, persisted under ``failures/``."""
+
+    seed: int
+    profile: str
+    oracles: Tuple[str, ...]
+    original_statements: int
+    shrunk_statements: int
+    path: str
+
+
+@dataclass
+class FuzzReport:
+    """What a campaign produced, renderable for the CLI."""
+
+    seeds: int
+    seed_base: int
+    budget: int
+    bug: str
+    results: List[FuzzCellResult] = field(default_factory=list)
+    reproducers: List[Reproducer] = field(default_factory=list)
+    new_entries: int = 0
+    new_features: int = 0
+    corpus_size: int = 0
+    coverage_size: int = 0
+    total_instructions: int = 0
+
+    @property
+    def failures(self) -> List[Tuple[int, str, str, str]]:
+        return [(result.seed, result.profile, oracle, detail)
+                for result in self.results
+                for oracle, detail in result.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format_text(self) -> str:
+        lines = [
+            f"fuzz campaign: seeds {self.seed_base}.."
+            f"{self.seed_base + self.seeds - 1}, budget "
+            f"{self.budget:,} instructions per oracle machine"
+        ]
+        if self.bug:
+            lines.append(f"injected bug: {self.bug}")
+        lines.append(
+            f"corpus: +{self.new_entries} seed(s), +{self.new_features} "
+            f"feature(s) (now {self.corpus_size} seed(s), "
+            f"{self.coverage_size} feature(s))")
+        lines.append(
+            f"simulated: {self.total_instructions:,} reference "
+            f"instructions across {len(self.results)} seed(s)")
+        if not self.failures:
+            lines.append("oracle failures: none")
+        else:
+            lines.append(f"oracle failures: {len(self.failures)}")
+            for seed, profile, oracle, detail in self.failures:
+                summary = detail.splitlines()[0]
+                lines.append(f"  seed {seed} ({profile}) [{oracle}] "
+                             f"{summary}")
+            for repro in self.reproducers:
+                lines.append(
+                    f"  reproducer: seed {repro.seed} shrunk "
+                    f"{repro.original_statements} -> "
+                    f"{repro.shrunk_statements} statement(s) at "
+                    f"{repro.path}")
+        return "\n".join(lines)
+
+
+def _build_specs(options: FuzzOptions):
+    from ..eval.engine import CellSpec
+
+    specs = []
+    for seed in range(options.seed_base, options.seed_base + options.seeds):
+        program = generate(seed)
+        specs.append(CellSpec(workload=f"fuzz{seed}",
+                              defense=program.profile,
+                              kind="fuzz",
+                              fuzz_seed=seed,
+                              fuzz_profile=program.profile,
+                              fuzz_bug=options.bug,
+                              max_instructions=options.budget))
+    return specs
+
+
+def shrink_failure(result: FuzzCellResult, options: FuzzOptions,
+                   corpus: Corpus) -> Reproducer:
+    """Minimize one failing seed and persist the reproducer record.
+
+    The predicate re-runs only the oracles that failed, with a fresh
+    injection per check (injections are stateful counters).
+    """
+    program = generate(result.seed, result.profile)
+    failing = tuple(dict.fromkeys(oracle for oracle, _ in result.failures))
+
+    def still_failing(candidate) -> bool:
+        injection = (BugInjection.parse(result.bug)
+                     if result.bug else None)
+        report = run_oracles(candidate, budget=result.budget,
+                             injection=injection, only=failing)
+        return bool(report.failures)
+
+    outcome = shrink(program, still_failing,
+                     max_checks=options.max_shrink_checks)
+    shrunk = outcome.program
+    path = corpus.record_failure(
+        f"seed{result.seed:05d}-{result.profile}",
+        {
+            "seed": result.seed,
+            "profile": result.profile,
+            "budget": result.budget,
+            "bug": result.bug,
+            "oracles": list(failing),
+            "failures": [list(pair) for pair in result.failures],
+            "original_statements": program.statement_count,
+            "shrunk_statements": shrunk.statement_count,
+            "shrink_checks": outcome.checks,
+            "shrunk_source": shrunk.source,
+        })
+    return Reproducer(seed=result.seed, profile=result.profile,
+                      oracles=failing,
+                      original_statements=program.statement_count,
+                      shrunk_statements=shrunk.statement_count,
+                      path=str(path))
+
+
+def run_campaign(engine, options: FuzzOptions,
+                 echo: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run one campaign through ``engine`` and return the report."""
+    say = echo or (lambda message: None)
+    specs = _build_specs(options)
+    results_by_spec = engine.run_cells(specs, artifact="fuzz")
+
+    corpus = Corpus(options.corpus_dir)
+    report = FuzzReport(seeds=options.seeds, seed_base=options.seed_base,
+                        budget=options.budget, bug=options.bug)
+    for spec in specs:
+        result: FuzzCellResult = results_by_spec[spec]
+        report.results.append(result)
+        report.total_instructions += result.instructions
+        # A bug-injection campaign exercises the oracles, not the
+        # simulator: its coverage is tainted and stays out of the corpus.
+        if result.ok and not options.bug:
+            new = corpus.consider(CorpusEntry(
+                seed=result.seed, profile=result.profile,
+                budget=result.budget,
+                source_sha256=result.source_sha256,
+                features=result.features))
+            if new:
+                report.new_entries += 1
+                report.new_features += len(new)
+                say(f"corpus: kept seed {result.seed} "
+                    f"({result.profile}): +{len(new)} feature(s)")
+    for result in report.results:
+        if result.ok:
+            continue
+        say(f"oracle failure: seed {result.seed} ({result.profile}): "
+            f"{result.failures[0][0]}")
+        if options.shrink:
+            repro = shrink_failure(result, options, corpus)
+            report.reproducers.append(repro)
+            say(f"shrunk: seed {repro.seed} "
+                f"{repro.original_statements} -> "
+                f"{repro.shrunk_statements} statement(s)")
+    report.corpus_size = len(corpus)
+    report.coverage_size = len(corpus.coverage())
+    return report

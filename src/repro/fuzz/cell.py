@@ -1,0 +1,86 @@
+"""The ``kind="fuzz"`` evaluation-engine cell.
+
+One cell = one seed pushed through the full oracle set.  The result is
+plain data (JSON round-trippable) so fuzz cells inherit the engine's
+whole fault-tolerance story — supervised workers, retries, timeouts,
+journaling, caching, span tracing — without any fuzz-specific plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .faults import BugInjection
+from .generator import generate
+from .oracles import run_oracles
+
+
+@dataclass(frozen=True)
+class FuzzCellResult:
+    """Outcome of one seed's oracle pass (picklable, JSON-encodable)."""
+
+    seed: int
+    profile: str
+    budget: int
+    source_sha256: str
+    statements: int
+    #: Retired instructions of the differential reference run (the
+    #: engine's throughput accounting reads this attribute).
+    instructions: int
+    features: Tuple[str, ...] = ()
+    #: ``(oracle, detail)`` pairs; empty means every oracle passed.
+    failures: Tuple[Tuple[str, str], ...] = ()
+    bug: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "budget": self.budget,
+            "source_sha256": self.source_sha256,
+            "statements": self.statements,
+            "instructions": self.instructions,
+            "features": list(self.features),
+            "failures": [list(pair) for pair in self.failures],
+            "bug": self.bug,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FuzzCellResult":
+        return cls(
+            seed=int(record["seed"]),
+            profile=str(record["profile"]),
+            budget=int(record["budget"]),
+            source_sha256=str(record["source_sha256"]),
+            statements=int(record["statements"]),
+            instructions=int(record["instructions"]),
+            features=tuple(record["features"]),
+            failures=tuple((str(oracle), str(detail))
+                           for oracle, detail in record["failures"]),
+            bug=str(record.get("bug", "")),
+        )
+
+
+def compute_fuzz_cell(spec) -> FuzzCellResult:
+    """Pure function of a fuzz :class:`~repro.eval.engine.CellSpec`:
+    generate the seed's program, run every oracle, package the report."""
+    program = generate(spec.fuzz_seed, spec.fuzz_profile or None)
+    injection = BugInjection.parse(spec.fuzz_bug) if spec.fuzz_bug else None
+    report = run_oracles(program, budget=spec.max_instructions,
+                         injection=injection)
+    return FuzzCellResult(
+        seed=program.seed,
+        profile=program.profile,
+        budget=spec.max_instructions,
+        source_sha256=program.source_digest(),
+        statements=program.statement_count,
+        instructions=report.instructions,
+        features=tuple(sorted(report.coverage)),
+        failures=tuple((f.oracle, f.detail) for f in report.failures),
+        bug=spec.fuzz_bug,
+    )

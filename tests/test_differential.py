@@ -20,21 +20,20 @@ and necessarily differ between modes.
 The same generator doubles as a transparency oracle across all four
 protected variants: a well-behaved program must flag no violations and
 finish in exactly the insecure baseline's architectural state.
-"""
 
-import random
+The generator itself lives in :mod:`repro.fuzz` (this fixed 50-seed
+sweep is the tier-1 consumer; ``repro fuzz`` runs the same grammar with
+open-ended seed ranges, violation profiles, and the full oracle set —
+see ``docs/fuzzing.md``).
+"""
 
 import pytest
 
 from repro.core import Chex86Machine, Variant
 from repro.core.machine import BLOCK_CACHE_BLOCKS
-from repro.heap import heap_library_asm
+from repro.fuzz import architectural_state, generate, generate_program
 from repro.isa import Reg, assemble
 from repro.telemetry import diff_snapshots
-
-#: Registers the generator uses for data (avoids rsp/rbp and ASan's r13-15).
-DATA_REGS = ("rax", "rbx", "rcx", "rdx", "rsi", "r8", "r9", "r10")
-PTR_REGS = ("r11", "r12")
 
 VARIANTS = (Variant.HW_ONLY, Variant.BINARY_TRANSLATION,
             Variant.UCODE_ALWAYS_ON, Variant.UCODE_PREDICTION)
@@ -45,65 +44,6 @@ MODE_IDS = ("slow", "blocks", "superblock")
 
 BUDGET = 20_000
 N_PROGRAMS = 50
-
-
-def generate_program(seed: int) -> str:
-    """A seeded random program: arithmetic, in-bounds heap traffic,
-    counted loops, stack spills, pointer copies — the Table I mix."""
-    rng = random.Random(seed)
-    lines = ["main:"]
-    for reg in DATA_REGS:
-        lines.append(f"    mov {reg}, {rng.randrange(1 << 16)}")
-    size = rng.choice([32, 64, 128])
-    for reg in PTR_REGS:
-        lines.append(f"    mov rdi, {size}")
-        lines.append("    call malloc")
-        lines.append(f"    mov {reg}, rax")
-    for i in range(rng.randint(5, 30)):
-        choice = rng.randrange(7)
-        a = rng.choice(DATA_REGS)
-        b = rng.choice(DATA_REGS)
-        if choice == 0:
-            op = rng.choice(["add", "sub", "and", "or", "xor", "imul"])
-            lines.append(f"    {op} {a}, {b}")
-        elif choice == 1:
-            lines.append(f"    mov {a}, {rng.randrange(1 << 20)}")
-        elif choice == 2:  # in-bounds store
-            ptr = rng.choice(PTR_REGS)
-            offset = rng.randrange(size // 8) * 8
-            lines.append(f"    mov [{ptr} + {offset}], {a}")
-        elif choice == 3:  # in-bounds load
-            ptr = rng.choice(PTR_REGS)
-            offset = rng.randrange(size // 8) * 8
-            lines.append(f"    mov {a}, [{ptr} + {offset}]")
-        elif choice == 4:  # a short counted loop (exercises block replay)
-            count = rng.randint(2, 6)
-            body = rng.choice([r for r in DATA_REGS if r != a])
-            lines.append(f"    mov {a}, 0")
-            lines.append(f"loop{i}:")
-            lines.append(f"    add {body}, 3")
-            lines.append(f"    add {a}, 1")
-            lines.append(f"    cmp {a}, {count}")
-            lines.append(f"    jl loop{i}")
-        elif choice == 5:  # stack spill/reload
-            lines.append(f"    push {a}")
-            lines.append(f"    pop {b}")
-        else:  # pointer copy then in-bounds use (Table I traffic)
-            ptr = rng.choice(PTR_REGS)
-            lines.append(f"    mov rsi, {ptr}")
-            lines.append("    mov rdx, [rsi]")
-    lines.append(f"    mov rdi, {PTR_REGS[0]}")
-    lines.append("    call free")
-    lines.append(f"    mov {PTR_REGS[0]}, 0")
-    lines.append("    halt")
-    return "\n".join(lines) + "\n" + heap_library_asm()
-
-
-def architectural_state(machine: Chex86Machine):
-    regs = tuple(machine.regs[int(r)] for r in Reg if r is not Reg.RSP)
-    heap_words = tuple(machine.memory.peek_word(0x1000_0000 + i * 8)
-                       for i in range(64))
-    return regs, heap_words
 
 
 def run_machine(program, variant, mode, *, trap: bool = False,
@@ -192,13 +132,12 @@ class TestThreeWayDifferential:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_violating_program_flags_identically(self, seed):
-        """An appended OOB store must produce the *same* violation set in
-        all three modes (trapping, so post-violation state is defined).
-        Under superblock replay the store usually traps mid-chain,
-        exercising the partial-retire unwind path."""
-        source = generate_program(seed).replace(
-            "    halt\n",
-            f"    mov [r12 + {(seed % 4 + 1) * 128}], rax\n    halt\n", 1)
+        """The out-of-bounds profile's payload store must produce the
+        *same* violation set in all three modes (trapping, so
+        post-violation state is defined).  Under superblock replay the
+        store usually traps mid-chain, exercising the partial-retire
+        unwind path."""
+        source = generate(seed, "out-of-bounds").source
         program = assemble(source, name=f"fuzz-oob{seed}")
         variant = VARIANTS[seed % len(VARIANTS)]
         reference, reference_result = run_machine(program, variant, False,

@@ -1,0 +1,129 @@
+"""Oracle-sensitivity tests: every bug-injection kind is caught by the
+oracle it targets, and the shrinker reduces the failing program.
+
+An oracle that never fires is a green checkmark over a blind spot, so
+each of the four ``BugInjection`` kinds gets the same treatment: the
+uninjected run must pass, the injected run must fail *in the targeted
+oracle*, and the failure must survive shrinking to a strictly smaller
+reproducer.
+"""
+
+import pytest
+
+from repro.eval.engine import EvalEngine
+from repro.fuzz import (BugInjection, Corpus, FuzzOptions, generate,
+                        profile_for_seed, run_campaign, run_oracles,
+                        shrink)
+from repro.fuzz.faults import ENV_VAR
+
+#: kind -> (seed whose profile exercises it, oracle that must catch it).
+#: ``skip-capcheck`` and ``drop-violation`` hide enforcement, so they
+#: need a *violating* seed; the other two corrupt state/metrics and fire
+#: on any program.
+SENSITIVITY = {
+    "skip-capcheck": (3, "differential"),
+    "drop-violation": (7, "transparency"),
+    "corrupt-snapshot": (0, "snapshot"),
+    "skew-metric": (1, "conservation"),
+}
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {seed: generate(seed, profile_for_seed(seed))
+            for seed, _ in SENSITIVITY.values()}
+
+
+class TestSensitivity:
+    def test_chosen_seeds_have_the_right_profiles(self):
+        """The table above bakes in the seed->profile rotation; fail
+        loudly here (not deep in an oracle) if it ever changes."""
+        assert profile_for_seed(3) == "out-of-bounds"
+        assert profile_for_seed(7) == "use-after-free"
+        assert profile_for_seed(0) == "well-behaved"
+        assert profile_for_seed(1) == "well-behaved"
+
+    @pytest.mark.parametrize("kind", sorted(SENSITIVITY))
+    def test_clean_run_passes(self, kind, programs):
+        seed, oracle = SENSITIVITY[kind]
+        report = run_oracles(programs[seed], only=(oracle,))
+        assert report.ok, [str(f) for f in report.failures]
+
+    @pytest.mark.parametrize("kind", sorted(SENSITIVITY))
+    def test_injected_bug_is_caught(self, kind, programs):
+        seed, oracle = SENSITIVITY[kind]
+        injection = BugInjection.parse(kind)
+        report = run_oracles(programs[seed], injection=injection)
+        assert injection.fired > 0, f"{kind}: injection never fired"
+        caught = {failure.oracle for failure in report.failures}
+        assert oracle in caught, (
+            f"{kind}: expected the {oracle} oracle to fail, got "
+            f"{[str(f) for f in report.failures]}")
+
+    @pytest.mark.parametrize("kind", sorted(SENSITIVITY))
+    def test_failure_shrinks_to_a_smaller_reproducer(self, kind, programs):
+        seed, oracle = SENSITIVITY[kind]
+        program = programs[seed]
+
+        def still_failing(candidate):
+            # Fresh injection per check: firings are stateful counters.
+            report = run_oracles(candidate,
+                                 injection=BugInjection.parse(kind),
+                                 only=(oracle,))
+            return not report.ok
+
+        result = shrink(program, still_failing, max_checks=48)
+        assert result.shrank, f"{kind}: shrinker removed nothing"
+        assert result.program.statement_count < program.statement_count
+        # The minimized program still reproduces the failure.
+        assert still_failing(result.program)
+
+
+class TestInjectionPlumbing:
+    def test_env_var_round_trip(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "skew-metric:conservation:*@2")
+        injection = BugInjection.from_env()
+        assert injection is not None
+        assert injection.kind == "skew-metric"
+        assert injection.role == "conservation:*"
+        assert injection.index == 2
+
+    def test_env_var_absent(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert BugInjection.from_env() is None
+
+    def test_indexed_injection_fires_once(self, programs):
+        seed, oracle = SENSITIVITY["skew-metric"]
+        injection = BugInjection.parse("skew-metric@1")
+        run_oracles(programs[seed], injection=injection, only=(oracle,))
+        assert injection.fired == 1
+
+    def test_mismatched_role_never_fires(self, programs):
+        seed, oracle = SENSITIVITY["skew-metric"]
+        injection = BugInjection.parse("skew-metric:no-such-role")
+        report = run_oracles(programs[seed], injection=injection,
+                             only=(oracle,))
+        assert injection.fired == 0
+        assert report.ok
+
+
+class TestCampaignWithInjection:
+    def test_bug_campaign_fails_and_writes_reproducers(self, tmp_path):
+        engine = EvalEngine(jobs=1, use_cache=False,
+                            cache_dir=tmp_path / "cache")
+        options = FuzzOptions(seeds=1, seed_base=1,
+                              corpus_dir=str(tmp_path / "corpus"),
+                              bug="skew-metric")
+        report = run_campaign(engine, options)
+        assert not report.ok
+        assert report.reproducers, "failing campaign produced no reproducer"
+        repro = report.reproducers[0]
+        assert repro.shrunk_statements < repro.original_statements
+        assert "conservation" in repro.oracles
+        # The reproducer record landed under failures/, and the tainted
+        # run contributed nothing to the corpus proper.
+        corpus = Corpus(tmp_path / "corpus")
+        assert [str(path) for path in corpus.failures()] == [repro.path]
+        assert len(corpus) == 0
+        assert "oracle failures:" in report.format_text()
+        assert "reproducer:" in report.format_text()
