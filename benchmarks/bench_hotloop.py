@@ -45,12 +45,15 @@ DEFAULT_BASELINE = "benchmarks/bench_hotloop_baseline.json"
 
 
 def measure(name: str, scale: int, budget: int, repeats: int,
-            telemetry: bool = False, metrics_out: str = None) -> dict:
+            telemetry: bool = False, provenance: bool = False,
+            metrics_out: str = None) -> dict:
     """Best-of-``repeats`` stepping throughput for one workload.
 
     ``telemetry=True`` attaches the event tracer and per-quantum
-    snapshotting — the *enabled*-path overhead measurement; the
-    regression gate only ever reads the default (disabled) runs.
+    snapshotting, ``provenance=True`` arms the provenance recorder
+    (forcing exact per-instruction replay) — the *enabled*-path
+    overhead measurements; the regression gate only ever reads the
+    default (disabled) runs.
     """
     workload = build(name, scale)
     program = assemble(workload.source, name=workload.name)
@@ -62,6 +65,8 @@ def measure(name: str, scale: int, budget: int, repeats: int,
         if telemetry:
             machine.attach_tracer(EventTracer())
             machine.enable_quantum_metrics()
+        if provenance:
+            machine.enable_provenance()
         started = time.perf_counter()
         machine.run_quantum(budget)
         seconds = time.perf_counter() - started
@@ -120,6 +125,8 @@ def main(argv=None) -> int:
                              f"run (default {DEFAULT_METRICS_OUT})")
     parser.add_argument("--no-telemetry-bench", action="store_true",
                         help="skip the telemetry-enabled overhead pass")
+    parser.add_argument("--no-provenance-bench", action="store_true",
+                        help="skip the provenance-armed overhead pass")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compare against "
                              f"(e.g. {DEFAULT_BASELINE})")
@@ -170,6 +177,37 @@ def main(argv=None) -> int:
         }
         print(f"telemetry: {enabled_aggregate:.4f} simulated-MIPS enabled "
               f"({overhead:.1%} overhead) -> {args.metrics_out}")
+
+    if not args.no_provenance_bench:
+        # Provenance-*armed* overhead trajectory (recorder enabled, so
+        # superblock replay bails out to exact stepping).  Informational
+        # only, like the telemetry pass: the gate reads the default runs.
+        armed = []
+        for name in WORKLOADS:
+            record = measure(name, args.scale, args.budget, args.repeats,
+                             provenance=True)
+            armed.append(record)
+            print(f"{name:14s} {record['simulated_mips']:.4f} "
+                  f"simulated-MIPS with provenance armed")
+        armed_aggregate = round(aggregate_mips(armed), 4)
+        prov_overhead = (1.0 - armed_aggregate / aggregate) \
+            if aggregate else 0.0
+        report["provenance"] = {
+            "workloads": armed,
+            "aggregate_simulated_mips": armed_aggregate,
+            "overhead_fraction": round(prov_overhead, 4),
+        }
+        # Record the armed-pass overhead in the metrics sidecar's meta
+        # so BENCH_hotloop_metrics.json carries the full overhead story.
+        metrics_path = Path(args.metrics_out)
+        if metrics_path.exists():
+            snapshot = json.loads(metrics_path.read_text())
+            snapshot.setdefault("meta", {})["provenance_overhead_fraction"] \
+                = round(prov_overhead, 4)
+            metrics_path.write_text(json.dumps(snapshot, indent=2,
+                                               sort_keys=True) + "\n")
+        print(f"provenance: {armed_aggregate:.4f} simulated-MIPS armed "
+              f"({prov_overhead:.1%} overhead)")
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"aggregate: {aggregate:.4f} simulated-MIPS -> {args.out}")

@@ -231,7 +231,8 @@ def _engine_from(args, echo) -> EvalEngine:
                         cell_timeout=args.cell_timeout,
                         max_retries=args.max_retries,
                         retry_backoff=args.retry_backoff,
-                        resume=args.resume, trace=trace)
+                        resume=args.resume, trace=trace,
+                        provenance=getattr(args, "provenance", False))
     if not args.simpoint:
         return engine
     from .eval.sampling import (DEFAULT_INTERVAL, DEFAULT_MAX_K,
@@ -286,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="event ring-buffer size; oldest events are "
                             "dropped past this (default: 65536)")
+    run_p.add_argument("--provenance", action="store_true",
+                       help="record context-sensitive provenance: "
+                            "violations gain alloc/free/access chains and "
+                            "an attribution report is written")
+    run_p.add_argument("--provenance-dir", default="results/provenance",
+                       metavar="DIR",
+                       help="directory for provenance reports "
+                            "(default: results/provenance)")
 
     wl_p = sub.add_parser("workload", help="run a built-in benchmark")
     wl_p.add_argument("name", choices=BENCHMARK_ORDER)
@@ -303,6 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the per-cell metrics sidecar "
                             "(engine-backed figures only)")
+    fig_p.add_argument("--provenance", action="store_true",
+                       help="arm provenance recording in every cell and "
+                            "write per-workload attribution reports "
+                            "(engine-backed figures only)")
+    fig_p.add_argument("--provenance-dir", default="results/provenance",
+                       metavar="DIR",
+                       help="directory for provenance reports "
+                            "(default: results/provenance)")
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("number", choices=sorted(_TABLES))
@@ -311,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     tab_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the per-cell metrics sidecar "
                             "(engine-backed tables only)")
+    tab_p.add_argument("--provenance", action="store_true",
+                       help="arm provenance recording in every cell and "
+                            "write per-workload attribution reports "
+                            "(engine-backed tables only)")
+    tab_p.add_argument("--provenance-dir", default="results/provenance",
+                       metavar="DIR",
+                       help="directory for provenance reports "
+                            "(default: results/provenance)")
 
     trace_p = sub.add_parser(
         "trace", help="run a program with the event tracer attached and "
@@ -338,6 +363,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--max-instructions", type=int, default=2_000_000)
     trace_p.add_argument("--no-heap-library", action="store_true",
                          help="do not append the standard heap library")
+
+    att_p = sub.add_parser(
+        "attribute", help="context-sensitive cost attribution: run with "
+                          "provenance armed and report which call chains "
+                          "pay for capability checks")
+    att_p.add_argument("target",
+                       help="assembly source file, or a built-in workload "
+                            f"name ({', '.join(BENCHMARK_ORDER)})")
+    _add_variant_arg(att_p)
+    att_p.add_argument("--top", type=int, default=20, metavar="N",
+                       help="show the N hottest entries (0 = all; "
+                            "default: 20)")
+    att_p.add_argument("--format", default="collapsed",
+                       choices=("json", "collapsed", "annotate"),
+                       help="collapsed: flamegraph folded stacks; "
+                            "annotate: disassembly heatmap; json: the "
+                            "full structured report (default: collapsed)")
+    att_p.add_argument("--counter", default="capchecks",
+                       choices=("capchecks", "alias_walks",
+                                "uop_injections"),
+                       help="cost family to attribute (default: capchecks)")
+    att_p.add_argument("--scale", type=int, default=1,
+                       help="workload scale (workload targets only)")
+    att_p.add_argument("--max-instructions", type=int, default=2_000_000)
+    att_p.add_argument("--no-heap-library", action="store_true",
+                       help="do not append the standard heap library "
+                            "(file targets only)")
+    att_p.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the rendered output to FILE")
 
     sec_p = sub.add_parser("security", help="run the exploit suites")
     sec_p.add_argument("--ripe-limit", type=int, default=None,
@@ -464,6 +518,8 @@ def cmd_run(args) -> int:
               f"instrumented (+{report.code_growth} instructions)")
     machine = Chex86Machine(program, variant=variant,
                             halt_on_violation=args.trap)
+    if args.provenance:
+        machine.enable_provenance()
     tracer = None
     if args.trace_out:
         if args.trace_capacity < 1:
@@ -496,6 +552,15 @@ def cmd_run(args) -> int:
             tracer.write_jsonl(args.trace_out)
         print(f"trace: wrote {len(tracer)} event(s) to {args.trace_out} "
               f"({tracer.dropped} dropped)", file=sys.stderr)
+    if args.provenance:
+        from .telemetry import provenance as prov_mod
+
+        stem = Path(args.file).stem
+        cell = prov_mod.cell_export(machine, f"{stem}/{args.variant}")
+        json_path, collapsed_path = prov_mod.write_report(
+            args.provenance_dir, stem, [cell])
+        print(f"provenance: wrote {json_path} + {collapsed_path}",
+              file=sys.stderr)
     return 1 if result.flagged else 0
 
 
@@ -557,6 +622,9 @@ def cmd_figure(args) -> int:
     if args.trace_out and args.number not in _ENGINE_FIGURES:
         raise CliError(f"--trace-out requires an engine-backed figure "
                        f"({', '.join(sorted(_ENGINE_FIGURES))})")
+    if args.provenance and args.number not in _ENGINE_FIGURES:
+        raise CliError(f"--provenance requires an engine-backed figure "
+                       f"({', '.join(sorted(_ENGINE_FIGURES))})")
     if args.number == "1":
         result = module.run()
     elif args.number in _ENGINE_FIGURES:
@@ -566,6 +634,8 @@ def cmd_figure(args) -> int:
             _write_cell_sidecar(engine, module, args, f"fig{args.number}")
         if args.trace_out:
             _write_sweep_trace(engine, args, f"fig{args.number}")
+        if args.provenance:
+            engine.write_provenance(args.provenance_dir, f"fig{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
@@ -581,6 +651,9 @@ def cmd_table(args) -> int:
     if args.trace_out and args.number not in _ENGINE_TABLES:
         raise CliError(f"--trace-out requires an engine-backed table "
                        f"({', '.join(sorted(_ENGINE_TABLES))})")
+    if args.provenance and args.number not in _ENGINE_TABLES:
+        raise CliError(f"--provenance requires an engine-backed table "
+                       f"({', '.join(sorted(_ENGINE_TABLES))})")
     if args.number == "3":
         result = module.run()
     elif args.number in _ENGINE_TABLES:
@@ -590,9 +663,57 @@ def cmd_table(args) -> int:
             _write_cell_sidecar(engine, module, args, f"table{args.number}")
         if args.trace_out:
             _write_sweep_trace(engine, args, f"table{args.number}")
+        if args.provenance:
+            engine.write_provenance(args.provenance_dir,
+                                    f"table{args.number}")
     else:
         result = module.run(scale=args.scale)
     print(result.format_text())
+    return 0
+
+
+def cmd_attribute(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .telemetry import provenance as prov_mod
+
+    if args.target in BENCHMARK_ORDER:
+        workload = build(args.target, args.scale)
+        if workload.threads > 1:
+            raise CliError(
+                f"{args.target} is multithreaded; attribute one core via "
+                f"`figure --provenance` instead")
+        source = workload.source
+        name = workload.name
+    else:
+        source = _read_program(args.target)
+        if not args.no_heap_library and "malloc:" not in source:
+            source += "\n" + heap_library_asm()
+        name = Path(args.target).stem
+    program = assemble(source, name=name)
+    machine = Chex86Machine(program, variant=_VARIANTS[args.variant],
+                            halt_on_violation=False)
+    recorder = machine.enable_provenance()
+    machine.run(max_instructions=args.max_instructions)
+    if args.format == "json":
+        rendered = json_mod.dumps(
+            prov_mod.cell_export(machine, f"{name}/{args.variant}"),
+            indent=2, sort_keys=True)
+    elif args.format == "annotate":
+        rendered = "\n".join(
+            recorder.annotated_disassembly(args.counter, top=args.top))
+    else:
+        rendered = "\n".join(prov_mod.collapsed_lines(
+            recorder.collapsed(args.counter), top=args.top))
+    print(rendered)
+    print(f"attribute: {recorder.total(args.counter):,} {args.counter} "
+          f"event(s) across {len(recorder.collapsed(args.counter))} "
+          f"context(s); {machine.violations.count()} violation(s)",
+          file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"attribute: wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -893,6 +1014,7 @@ def main(argv=None) -> int:
         "workload": cmd_workload,
         "figure": cmd_figure,
         "table": cmd_table,
+        "attribute": cmd_attribute,
         "security": cmd_security,
         "fuzz": cmd_fuzz,
         "trace": cmd_trace,

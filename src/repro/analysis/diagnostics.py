@@ -16,29 +16,59 @@ from ..core.capability import WILD_PID
 from ..core.machine import Chex86Machine
 from ..core.violations import Violation, ViolationKind
 from ..isa.disasm import format_instr
+from ..isa.instructions import INSTR_SLOT
+from ..telemetry.provenance import symbolize, violation_json
 
 #: Instructions of context shown on each side of the faulting pc.
 WINDOW = 3
 
 
 def _disasm_window(machine: Chex86Machine, pc: int) -> List[str]:
+    """Disassembly context around ``pc``.
+
+    Forensic reports must render for *any* pc a violation can carry —
+    the first or last instruction of the text segment, a wild pc far
+    outside it, or a misaligned address mid-slot — so every failure
+    mode degrades to an explanatory line instead of an exception.
+    """
     program = machine.program
+    pc_text = f"{pc:#x}" if isinstance(pc, int) else repr(pc)
+    if len(program) == 0:
+        return [f"  {pc_text}:  <empty text section>"]
     labels_by_address = {addr: name for name, addr in program.labels.items()}
+    misaligned = False
     try:
         index = program.index_of(pc)
-    except ValueError:
-        return [f"  {pc:#x}:  <outside text section>"]
+    except (TypeError, ValueError):
+        index = None
+    if index is None:
+        text_base = getattr(program, "text_base", None)
+        text_end = getattr(program, "text_end", None)
+        if (isinstance(pc, int) and text_base is not None
+                and text_end is not None and text_base <= pc < text_end):
+            # Mid-slot pc (e.g. a wild dereference landing inside the
+            # text segment): snap to the enclosing instruction slot.
+            index = (pc - text_base) // INSTR_SLOT
+            misaligned = True
+        else:
+            return [f"  {pc_text}:  <outside text section>"]
+    index = max(0, min(index, len(program) - 1))
     lines = []
+    if misaligned:
+        lines.append(f"  {pc:#x}:  <misaligned pc; showing enclosing slot>")
     for i in range(max(0, index - WINDOW),
                    min(len(program), index + WINDOW + 1)):
-        address = program.address_of(i)
-        label = labels_by_address.get(address)
-        if label is not None and program.instrs[i].label == label:
-            lines.append(f"{label}:")
-        marker = "=>" if i == index else "  "
-        instr = program.fetch(address)
-        lines.append(f"{marker} {address:#x}:  "
-                     f"{format_instr(instr, labels_by_address)}")
+        try:
+            address = program.address_of(i)
+            label = labels_by_address.get(address)
+            if label is not None and program.instrs[i].label == label:
+                lines.append(f"{label}:")
+            marker = "=>" if i == index else "  "
+            instr = program.fetch(address)
+            lines.append(f"{marker} {address:#x}:  "
+                         f"{format_instr(instr, labels_by_address)}")
+        except Exception:  # never let forensics die on one bad slot
+            lines.append(f"   <slot {i}: undecodable>")
     return lines
 
 
@@ -94,6 +124,43 @@ def _allocation_history(machine: Chex86Machine,
     ]
 
 
+def _context_line(program, entry: dict) -> str:
+    frames = entry.get("frames")
+    if not frames:
+        frames = [symbolize(program, pc) for pc in entry.get("context", [])]
+    return " > ".join(frames) if frames else "<top level>"
+
+
+def _provenance_chain(machine: Chex86Machine,
+                      violation: Violation) -> List[str]:
+    """Render the alloc → free → access provenance chain attached by an
+    armed run (empty when the run was not recorded)."""
+    chain = violation.provenance
+    if not chain:
+        return []
+    program = machine.program
+    lines = ["provenance:"]
+    alloc = chain.get("alloc")
+    if alloc is not None:
+        lines.append(f"  allocated {alloc['size']} byte(s) at "
+                     f"pc {alloc['pc']:#x} "
+                     f"({symbolize(program, alloc['pc'])}), "
+                     f"cycle {alloc['cycle']}")
+        lines.append(f"    by: {_context_line(program, alloc)}")
+    free = chain.get("free")
+    if free is not None:
+        lines.append(f"  freed at pc {free['pc']:#x} "
+                     f"({symbolize(program, free['pc'])}), "
+                     f"cycle {free['cycle']}")
+        lines.append(f"    by: {_context_line(program, free)}")
+    access = chain.get("access")
+    if access is not None:
+        lines.append(f"  faulting access at pc {access['pc']:#x} "
+                     f"({symbolize(program, access['pc'])})")
+        lines.append(f"    by: {_context_line(program, access)}")
+    return lines
+
+
 def _hint(violation: Violation) -> str:
     return {
         ViolationKind.OUT_OF_BOUNDS:
@@ -142,11 +209,32 @@ def explain_violation(machine: Chex86Machine,
     sections.append("")
     sections.extend(_capability_report(machine, violation))
     sections.extend(_allocation_history(machine, violation))
+    chain = _provenance_chain(machine, violation)
+    if chain:
+        sections.append("")
+        sections.extend(chain)
     hint = _hint(violation)
     if hint:
         sections.append("")
         sections.append(hint)
     return "\n".join(line for line in sections if line is not None)
+
+
+def violation_report_json(machine: Chex86Machine,
+                          violation: Violation) -> dict:
+    """Structured (JSON-safe) forensic report for one violation: the
+    fields of the violation itself plus its provenance chain, the hint,
+    and the disassembly window as rendered lines."""
+    report = violation_json(violation)
+    report["hint"] = _hint(violation)
+    report["disassembly"] = _disasm_window(machine, violation.instr_address)
+    return report
+
+
+def explain_all_violations_json(machine: Chex86Machine) -> List[dict]:
+    """Structured reports for every recorded violation, in flag order."""
+    return [violation_report_json(machine, violation)
+            for violation in machine.violations.violations]
 
 
 def explain_all_violations(machine: Chex86Machine) -> str:

@@ -283,6 +283,10 @@ class Chex86Machine:
         self.telemetry = MetricsRegistry()
         self._register_metrics(self.telemetry)
         self._tracer: Optional[EventTracer] = None
+        # Provenance recorder (telemetry.provenance); None until
+        # enable_provenance().  Emit sites test `self._prov is not None`
+        # so the disarmed hot path pays one identity check per site.
+        self._prov: Optional["ProvenanceRecorder"] = None
         self._quantum_metrics = False
         self._quantum_base: Optional[Dict[str, float]] = None
         self.quantum_deltas: List[Dict[str, float]] = []
@@ -392,6 +396,14 @@ class Chex86Machine:
                        merge=MERGE_LAST)
         registry.gauge("violations.count",
                        lambda machine=self: machine.violations.count())
+        # Per-kind detection profile (dotted violations.<kind> family)
+        # with the CWE id attached as metadata, so sweep diffs can name
+        # which weakness classes a config change gained or lost.
+        for kind in ViolationKind:
+            registry.gauge(
+                f"violations.{kind.value}",
+                lambda machine=self, kind=kind: machine.violations.count(kind),
+                meta={"cwe": kind.cwe})
 
     def metrics_snapshot(self) -> Dict[str, float]:
         """Finalized snapshot of every registered metric (finishes the
@@ -448,6 +460,31 @@ class Chex86Machine:
     def detach_tracer(self) -> Optional[EventTracer]:
         tracer, self._tracer = self._tracer, None
         return tracer
+
+    def enable_provenance(self, history_limit: int = 16):
+        """Arm context-sensitive provenance recording (default off).
+
+        Returns the :class:`~repro.telemetry.provenance.ProvenanceRecorder`
+        now tracking this machine.  Armed machines bail out of superblock
+        replay into exact per-instruction execution (like the tracer), so
+        architectural results are identical — only timing-of-recording
+        differs.  Idempotent: re-enabling returns the live recorder.
+        """
+        if self._prov is None:
+            from ..telemetry.provenance import ProvenanceRecorder
+            self._prov = ProvenanceRecorder(self.program,
+                                            history_limit=history_limit)
+        return self._prov
+
+    def disable_provenance(self):
+        """Detach and return the recorder (None if never enabled)."""
+        recorder, self._prov = self._prov, None
+        return recorder
+
+    @property
+    def provenance(self):
+        """The armed provenance recorder, or None."""
+        return self._prov
 
     def enable_quantum_metrics(self) -> None:
         """Record a metrics delta at every ``run_quantum`` boundary.
@@ -551,6 +588,7 @@ class Chex86Machine:
                         if (n <= budget - executed
                                 and not self._trace_active
                                 and self._tracer is None
+                                and self._prov is None
                                 and self.instructions % profile_interval + n
                                     < profile_interval
                                 and (not bbv or
@@ -632,6 +670,8 @@ class Chex86Machine:
             if self._tracer is not None:
                 self._tracer.emit(self.timing.now, "uop_inject", pc,
                                   uops=block.intercept_deltas[4])
+            if self._prov is not None:
+                self._prov.on_inject(pc, block.intercept_deltas[4])
         self.timing.begin_macro(pc, block.fetch_slots, block.msrom)
 
         next_rip = block.fallthrough
@@ -654,6 +694,8 @@ class Chex86Machine:
                         if mode == CHECK_INJECT or base_pid:
                             mstats.injected_uops += 1
                             mstats.capchecks += 1
+                            if self._prov is not None:
+                                self._prov.on_inject(pc, 1)
                             check.pid = base_pid
                             seq += 1
                             uops += 1
@@ -1024,6 +1066,8 @@ class Chex86Machine:
                 self.timing.shadow_access(self._walk_latency, 16)
                 self.timing.occupy(FuType.WALKER, done, self._walk_latency)
                 self.alias_cache.install(address, actual)
+                if self._prov is not None:
+                    self._prov.on_walk(pc)
         elif self.tlb.page_hosts_aliases(address):
             actual, hit = self.alias_cache.lookup(address, self.alias_table)
             if not hit:
@@ -1032,6 +1076,8 @@ class Chex86Machine:
                 # and moves shadow traffic.
                 self.timing.shadow_access(self._walk_latency, 16)
                 self.timing.occupy(FuType.WALKER, done, self._walk_latency)
+                if self._prov is not None:
+                    self._prov.on_walk(pc)
         else:
             actual = 0
         outcome = self.reload_predictor.update(pc, predicted, actual)
@@ -1040,6 +1086,8 @@ class Chex86Machine:
             tracer.emit(self.timing.now, "predictor", pc,
                         predicted=predicted, actual=actual,
                         outcome=outcome or "correct")
+        if self._prov is not None:
+            self._prov.on_reload(pc, outcome or "correct")
         if self._tracked_policy:
             if outcome == MispredictKind.P0AN:
                 # Missing check: flush, squash, re-inject (Figure 5d).
@@ -1058,6 +1106,8 @@ class Chex86Machine:
                 # idiom, squashed at the instruction queue (Figure 5c).
                 ghost = Uop(UopKind.CAPCHECK, injected=True)
                 self.mcu.stats.injected_uops += 1
+                if self._prov is not None:
+                    self._prov.on_inject(pc, 1)
                 self.mcu.demote_to_zero_idiom(ghost)
                 self.total_uops += 1
         if self.trace_reloads and actual > 0:
@@ -1110,6 +1160,8 @@ class Chex86Machine:
         if 0 <= macro_index < len(instrs) \
                 and instrs[macro_index].op is Op.CALL:
             self.predictors.on_call(pc + INSTR_SLOT)
+            if self._prov is not None:
+                self._prov.on_call(pc)
         self.timing.taken_branch()
         return uop.target
 
@@ -1137,6 +1189,8 @@ class Chex86Machine:
         macro_index = uop.macro_index
         instr_op = instrs[macro_index].op \
             if 0 <= macro_index < len(instrs) else None
+        if instr_op is Op.RET and self._prov is not None:
+            self._prov.on_ret()
         correct = self.predictors.resolve_indirect(
             pc, actual, is_return=instr_op is Op.RET)
         if not correct:
@@ -1172,6 +1226,8 @@ class Chex86Machine:
             if self._tracer is not None:
                 self._tracer.emit(self.timing.now, "capcheck", pc,
                                   pid=0, address=address, ok=True)
+            if self._prov is not None:
+                self._prov.on_check(pc)
             return
         latency = self._capcheck_latency
         if not self.capcache.access(pid):
@@ -1188,6 +1244,8 @@ class Chex86Machine:
             self._tracer.emit(self.timing.now, "capcheck", pc,
                               pid=pid, address=address,
                               ok=violation is None)
+        if self._prov is not None:
+            self._prov.on_check(pc)
         if violation is not None:
             self._flag(violation, pc)
         elif pid > 0:
@@ -1220,6 +1278,10 @@ class Chex86Machine:
         pid, violation = self.captable.begin_generation(size)
         self._pending_gens.append(pid)
         self.timing.schedule(uop.srcs, None, 3, FuType.CMU)
+        # Lifecycle record lands at the entry interception (before any
+        # flag) so even a heap-spray violation sees its allocation context.
+        if self._prov is not None:
+            self._prov.on_capgen(pid, pc, self.timing.now, size)
         if violation is not None:
             self._flag(violation, pc)
 
@@ -1275,6 +1337,8 @@ class Chex86Machine:
         self.system.broadcast_cap_invalidate(pid, self.core_id)
         if self._tracer is not None:
             self._tracer.emit(self.timing.now, "capfree", pc, pid=pid)
+        if self._prov is not None:
+            self._prov.on_capfree(pid, pc, self.timing.now)
 
     # -- host escapes -------------------------------------------------------------------------
 
@@ -1309,6 +1373,8 @@ class Chex86Machine:
         violation = Violation(
             kind=violation.kind, pid=violation.pid, address=violation.address,
             size=violation.size, instr_address=pc, detail=violation.detail,
+            provenance=(self._prov.chain(violation, pc)
+                        if self._prov is not None else None),
         )
         if self._tracer is not None:
             self._tracer.emit(self.timing.now, "violation", pc,

@@ -64,7 +64,9 @@ from .violations import ViolationLog
 #: Bumped whenever the snapshot layout changes incompatibly.
 #: v2: superblock fast-path counters (superblocks_compiled,
 #: superblock_instructions, superblock_bailouts, fallback_instructions).
-SNAPSHOT_SCHEMA = 2
+#: v3: provenance recorder state (shadow call stack, capability
+#: lifecycles, per-context cost tables) — None when disarmed.
+SNAPSHOT_SCHEMA = 3
 
 
 class SnapshotError(Exception):
@@ -203,6 +205,10 @@ def _capture(machine) -> Dict[str, object]:
         "pending_frees": list(machine._pending_frees),
         "global_pids": dict(machine._global_pids),
         "violations": list(machine.violations.violations),
+        # Provenance recorder state (None when disarmed); plain data so
+        # restored machines resume recording in the same call context.
+        "provenance": (machine._prov.state_tree()
+                       if machine._prov is not None else None),
         # Profiling state.
         "profile_interval": machine.profile_interval,
         "interval_pids": set(machine._interval_pids),
@@ -380,6 +386,14 @@ def _apply_state(machine, state: Dict[str, object]) -> None:
     for violation in state["violations"]:
         log.record(violation)
     machine.violations = log
+
+    saved_prov = state["provenance"]
+    if saved_prov is not None:
+        from ..telemetry.provenance import ProvenanceRecorder
+        machine._prov = ProvenanceRecorder.from_state(machine.program,
+                                                      saved_prov)
+    else:
+        machine._prov = None
 
     machine.profile_interval = state["profile_interval"]
     machine._interval_pids = set(state["interval_pids"])

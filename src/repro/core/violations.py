@@ -57,6 +57,11 @@ class Violation:
     size: int = 0
     instr_address: int = 0
     detail: str = ""
+    #: Optional provenance chain (alloc → free → faulting access),
+    #: attached when the machine runs with provenance recording armed.
+    #: Plain data so the frozen record stays picklable; excluded from
+    #: ``__str__`` so violation lines stay byte-identical either way.
+    provenance: Optional[dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

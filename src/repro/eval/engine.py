@@ -68,6 +68,7 @@ from .. import __version__
 from ..analysis.patterns import Pattern, PatternProfile, profile_patterns
 from ..core.variants import Variant
 from ..pipeline.config import CoreConfig, DEFAULT_CONFIG
+from ..telemetry import provenance as prov_mod
 from ..telemetry import spans as spans_mod
 from ..telemetry.registry import METRICS_SCHEMA, MetricsRegistry
 from ..telemetry.spans import SPILL_FILENAME, SpanTracer, TraceOptions
@@ -276,6 +277,8 @@ def compute_cell(spec: CellSpec):
         config=spec.config, halt_on_violation=False)
     spans_mod.attach_machine_tracer(
         machine, f"{spec.workload}/{spec.defense} patterns")
+    prov_mod.attach_machine_recorder(
+        machine, f"{spec.workload}/{spec.defense} patterns")
     machine.trace_reloads = True
     machine.run(max_instructions=spec.max_instructions)
     return profile_patterns(machine.reload_trace, spec.min_events)
@@ -298,6 +301,9 @@ def _replay_interval(spec: CellSpec):
             f"cell's recorded digest; re-run the checkpoint pass")
     machine = Chex86Machine.restore(data)
     spans_mod.attach_machine_tracer(
+        machine,
+        f"{spec.workload}/{spec.defense} interval {spec.interval_index}")
+    prov_mod.attach_machine_recorder(
         machine,
         f"{spec.workload}/{spec.defense} interval {spec.interval_index}")
     base_metrics = machine.metrics_snapshot()
@@ -373,7 +379,8 @@ def _cell_worker(payload: Dict[str, object]) -> Tuple[Dict[str, object], int,
 
 
 def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
-                      conn, trace: Optional[Dict[str, object]] = None) -> None:
+                      conn, trace: Optional[Dict[str, object]] = None,
+                      provenance: bool = False) -> None:
     """Worker-process entry point under supervision.
 
     Sends ``("ok", outcome)`` or ``("error", message)`` back over the
@@ -382,6 +389,9 @@ def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
     ``trace`` carries the buffer capacities and the ``ok`` message grows
     a third element: the worker's span :meth:`~repro.telemetry.spans.
     SpanTracer.shipment` (spans + machine event rings + clock anchor).
+    When provenance is armed the message grows a fourth element — the
+    worker's per-cell provenance sidecars (the third is None for an
+    untraced sweep so positions stay stable).
     """
     tracer: Optional[SpanTracer] = None
     if trace:
@@ -389,6 +399,8 @@ def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
             capacity=int(trace.get("capacity", 65536)),
             process_label=f"worker:{trace.get('label', '?')}")
         spans_mod.install(tracer, int(trace.get("machine_capacity", 0)))
+    if provenance:
+        prov_mod.arm()
     try:
         if fault == "crash":
             os._exit(CRASH_EXIT_STATUS)
@@ -400,9 +412,16 @@ def _supervised_entry(payload: Dict[str, object], fault: Optional[str],
         if tracer is not None:
             with tracer.span("worker.cell", cell=str(trace.get("label", ""))):
                 outcome = _cell_worker(payload)
-            conn.send(("ok", outcome, tracer.shipment()))
+            span_shipment = tracer.shipment()
         else:
-            conn.send(("ok", _cell_worker(payload)))
+            outcome = _cell_worker(payload)
+            span_shipment = None
+        if provenance:
+            conn.send(("ok", outcome, span_shipment, prov_mod.shipment()))
+        elif span_shipment is not None:
+            conn.send(("ok", outcome, span_shipment))
+        else:
+            conn.send(("ok", outcome))
     except BaseException as exc:  # noqa: BLE001 — report, parent decides
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -582,7 +601,8 @@ class EvalEngine:
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
                  resume: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
-                 trace: Optional[TraceOptions] = None) -> None:
+                 trace: Optional[TraceOptions] = None,
+                 provenance: bool = False) -> None:
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.cache_dir = Path(cache_dir)
         self.use_cache = use_cache
@@ -611,6 +631,13 @@ class EvalEngine:
         self._trace = trace
         self.spans: Optional[SpanTracer] = None
         self._shipments: List[Dict[str, object]] = []
+        # Provenance-armed sweeps: workers arm the module-global
+        # recorder hook, ship per-cell sidecars home over the result
+        # pipe, and write_provenance() merges them into per-workload
+        # attribution reports.  Sidecars are NOT cached — cache hits
+        # contribute no provenance (mirrors span tracing).
+        self.provenance = bool(provenance)
+        self._prov_cells: List[Dict[str, object]] = []
         self._lane_pool: List[int] = []
         self._next_lane = 1
         if trace is not None:
@@ -738,6 +765,31 @@ class EvalEngine:
         write_chrome(path, document)
         return document
 
+    def write_provenance(self, directory: Union[str, Path],
+                         artifact: str) -> Dict[str, object]:
+        """Merge the sweep's per-cell provenance sidecars into the
+        per-workload attribution report ``<directory>/<artifact>.json``
+        plus the flamegraph-ready ``<artifact>.collapsed`` (capability
+        checks folded by context).
+
+        Requires the engine to have been built with ``provenance=True``;
+        call once after the drivers finish (draining is destructive).
+        Cells served from the on-disk cache contribute no sidecars — run
+        against a cold or separate cache for full coverage.
+        """
+        if not self.provenance:
+            raise ValueError(
+                "provenance was not enabled on this engine "
+                "(pass provenance=True)")
+        self._prov_cells.extend(prov_mod.collect_cell_exports())
+        cells, self._prov_cells = self._prov_cells, []
+        json_path, collapsed_path = prov_mod.write_report(
+            directory, artifact, cells)
+        self.echo(f"provenance: {len(cells)} cell sidecar(s) -> "
+                  f"{json_path} + {collapsed_path}")
+        return {"cells": len(cells), "json": str(json_path),
+                "collapsed": str(collapsed_path)}
+
     def run_cells(self, specs: Sequence[CellSpec],
                   artifact: str = "") -> Dict[CellSpec, object]:
         """Resolve every spec, computing each unique cell at most once.
@@ -751,7 +803,7 @@ class EvalEngine:
         budget — after every other cell in the batch has been resolved,
         so completed work survives in the cache and journal.
         """
-        with self._tracing():
+        with self._tracing(), self._provenancing():
             with spans_mod.maybe("engine.batch",
                                  artifact=artifact or "(batch)",
                                  requested=len(specs)):
@@ -834,6 +886,22 @@ class EvalEngine:
             yield
         finally:
             spans_mod.uninstall()
+
+    @contextmanager
+    def _provenancing(self):
+        """Arm module-level provenance recording for the dynamic extent
+        of a batch, so the *inline* (jobs=1) path records exactly like a
+        supervised worker; sidecars are drained into ``_prov_cells`` at
+        batch exit.  Reentrant, and a no-op when provenance is off."""
+        if not self.provenance or prov_mod.armed():
+            yield
+            return
+        prov_mod.arm()
+        try:
+            yield
+        finally:
+            self._prov_cells.extend(prov_mod.collect_cell_exports())
+            prov_mod.disarm()
 
     def _acquire_lane(self) -> int:
         """Smallest free trace swimlane (tid) for an in-flight cell, so
@@ -958,7 +1026,7 @@ class EvalEngine:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_supervised_entry,
                               args=(spec.payload(), fault, child_conn,
-                                    trace),
+                                    trace, self.provenance),
                               daemon=True)
         process.start()
         child_conn.close()
@@ -1002,6 +1070,10 @@ class EvalEngine:
             # shipment, collated into the merged trace at write time.
             if len(message) > 2 and message[2]:
                 self._shipments.append(message[2])
+            # Provenance-armed sweeps: the fourth element carries the
+            # worker's per-cell provenance sidecars.
+            if len(message) > 3 and message[3]:
+                self._prov_cells.extend(message[3].get("cells", []))
         except (EOFError, OSError):
             status, value = "crashed", None
         finally:

@@ -33,6 +33,7 @@ from .registry import (
     MetricsRegistry,
     write_snapshot,
 )
+from .provenance import PROVENANCE_SCHEMA, ProvenanceRecorder
 from .spans import SPAN_SCHEMA, SpanTracer, TraceOptions
 from .tracer import EVENT_KINDS, EventTracer, TraceEvent
 
@@ -45,6 +46,8 @@ __all__ = [
     "EVENT_KINDS",
     "EventTracer",
     "TraceEvent",
+    "PROVENANCE_SCHEMA",
+    "ProvenanceRecorder",
     "SPAN_SCHEMA",
     "SpanTracer",
     "TraceOptions",

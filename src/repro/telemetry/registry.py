@@ -124,6 +124,10 @@ class MetricsRegistry:
         # register_object so coverage tests can ask "is this stats
         # attribute reachable as a gauge?" (registered_attributes).
         self._attr_sources: "List[Tuple[object, str, str]]" = []
+        # Optional per-metric metadata (e.g. the CWE id behind a
+        # violations.<kind> gauge); informational only — excluded from
+        # snapshots so the delta/merge algebra is untouched.
+        self._metadata: Dict[str, Dict[str, object]] = {}
 
     # -- registration --------------------------------------------------------
 
@@ -139,14 +143,25 @@ class MetricsRegistry:
         return created
 
     def gauge(self, name: str, fn: Callable[[], float],
-              merge: str = MERGE_SUM) -> None:
-        """Register a pull gauge: ``fn`` is read at snapshot time."""
+              merge: str = MERGE_SUM,
+              meta: Optional[Mapping[str, object]] = None) -> None:
+        """Register a pull gauge: ``fn`` is read at snapshot time.
+
+        ``meta`` attaches descriptive metadata (retrievable through
+        :meth:`metadata`) without affecting snapshot values.
+        """
         if not self.enabled:
             return
         self._check_free(name)
         if merge not in (MERGE_SUM, MERGE_LAST):
             raise ValueError(f"unknown merge mode {merge!r}")
         self._gauges[name] = (fn, merge)
+        if meta:
+            self._metadata[name] = dict(meta)
+
+    def metadata(self, name: str) -> Dict[str, object]:
+        """Metadata attached at registration ({} when none)."""
+        return dict(self._metadata.get(name, {}))
 
     def register_object(self, prefix: str, obj: object,
                         fields: Union[Sequence[str], Mapping[str, str]],

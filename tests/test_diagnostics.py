@@ -95,6 +95,107 @@ class TestExplainViolation:
         assert "mov [rax + 80], 1" in report
 
 
+class TestDisasmWindowEdges:
+    """The disassembly window must render for *any* pc a violation can
+    carry, degrading to explanatory lines instead of raising."""
+
+    def make_machine(self, body="    mov rax, 1"):
+        program = assemble_main(body)
+        return Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                             halt_on_violation=False)
+
+    def test_first_instruction_window_is_clamped(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        base = machine.program.text_base
+        lines = _disasm_window(machine, base)
+        assert any(line.startswith("=>") for line in lines)
+        assert f"{base:#x}" in "\n".join(lines)
+
+    def test_last_instruction_window_is_clamped(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        program = machine.program
+        last = program.address_of(len(program) - 1)
+        lines = _disasm_window(machine, last)
+        assert any(line.startswith("=>") for line in lines)
+
+    def test_wild_pc_outside_text(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        lines = _disasm_window(machine, 0x7FFF_4000)
+        assert lines == ["  0x7fff4000:  <outside text section>"]
+
+    def test_pc_zero_outside_text(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        assert _disasm_window(machine, 0) \
+            == ["  0x0:  <outside text section>"]
+
+    def test_misaligned_pc_snaps_to_enclosing_slot(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        pc = machine.program.text_base + 3  # mid-slot
+        lines = _disasm_window(machine, pc)
+        assert lines[0].endswith("<misaligned pc; showing enclosing slot>")
+        assert any(line.startswith("=>") for line in lines)
+
+    def test_non_integer_pc_degrades(self):
+        from repro.analysis.diagnostics import _disasm_window
+
+        machine = self.make_machine()
+        lines = _disasm_window(machine, None)
+        assert lines == ["  None:  <outside text section>"]
+
+
+class TestProvenanceSection:
+    def test_armed_report_renders_chain(self):
+        program = assemble_main("""
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov rdi, rax
+    call free
+    mov rcx, [rbx]
+""")
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.enable_provenance()
+        machine.run(max_instructions=100_000)
+        report = explain_violation(machine)
+        assert "provenance:" in report
+        assert "allocated" in report
+        assert "freed" in report
+        assert "faulting access" in report
+
+    def test_unarmed_report_has_no_provenance_section(self):
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov [rax + 72], 1
+""")
+        assert "provenance:" not in explain_violation(machine)
+
+    def test_violation_report_json(self):
+        from repro.analysis.diagnostics import explain_all_violations_json
+
+        machine = machine_with_violation("""
+    mov rdi, 64
+    call malloc
+    mov [rax + 72], 1
+""")
+        [record] = explain_all_violations_json(machine)
+        assert record["kind"] == "out-of-bounds"
+        assert record["cwe"] == "CWE-787/125"
+        assert record["hint"]
+        assert any("=>" in line for line in record["disassembly"])
+
+
 class TestExplainAllViolations:
     def test_every_violation_reported(self):
         from repro.analysis.diagnostics import explain_all_violations

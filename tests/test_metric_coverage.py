@@ -99,3 +99,49 @@ class TestStatsCoverage:
 
     def test_registered_attributes_empty_for_strangers(self, machine):
         assert machine.telemetry.registered_attributes(object()) == {}
+
+
+class TestViolationKindGauges:
+    """Every ViolationKind has a per-kind gauge with CWE metadata, and
+    the gauges partition the total violation count."""
+
+    def test_every_kind_has_a_gauge(self, machine):
+        from repro.core.violations import ViolationKind
+
+        snap = machine.metrics_snapshot()
+        for kind in ViolationKind:
+            assert f"violations.{kind.value}" in snap
+
+    def test_gauges_carry_cwe_metadata(self, machine):
+        from repro.core.violations import ViolationKind
+
+        for kind in ViolationKind:
+            meta = machine.telemetry.metadata(f"violations.{kind.value}")
+            assert meta == {"cwe": kind.cwe}
+
+    def test_metadata_empty_for_plain_metrics(self, machine):
+        assert machine.telemetry.metadata("machine.instructions") == {}
+
+    def test_kind_gauges_partition_total(self):
+        from repro.core.violations import ViolationKind
+
+        program = assemble("""
+main:
+    mov rdi, 64
+    call malloc
+    mov rbx, rax
+    mov [rbx + 72], 1
+    mov rdi, rbx
+    call free
+    mov rcx, [rbx]
+    halt
+""" + heap_library_asm(), name="kinds")
+        machine = Chex86Machine(program, variant=Variant.UCODE_PREDICTION,
+                                halt_on_violation=False)
+        machine.run(max_instructions=100_000)
+        snap = machine.metrics_snapshot()
+        per_kind = sum(snap[f"violations.{kind.value}"]
+                       for kind in ViolationKind)
+        assert per_kind == len(machine.violations.violations) > 0
+        assert snap["violations.out-of-bounds"] == 1
+        assert snap["violations.use-after-free"] == 1
